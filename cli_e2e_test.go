@@ -1,0 +1,121 @@
+// End-to-end tests of the command-line tools: build the binaries once and
+// drive the full flow — generate a spec, synthesise it, save the mapping,
+// replay it through the simulator, and render charts — asserting on the
+// observable outputs. Run with -short to skip.
+package momosyn_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles every cmd/ binary into a temp dir once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"mmgen", "mmsynth", "mmbench", "mmsim"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, dir, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end test skipped in -short mode")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	spec := filepath.Join(work, "inst.spec")
+	mapping := filepath.Join(work, "inst.map")
+	trace := filepath.Join(work, "inst.trace")
+
+	// Generate a spec file.
+	run(t, bin, "mmgen", "-seed", "5", "-o", spec)
+	if fi, err := os.Stat(spec); err != nil || fi.Size() == 0 {
+		t.Fatalf("spec not written: %v", err)
+	}
+
+	// Statistics view parses and reports the same instance.
+	stats := run(t, bin, "mmgen", "-seed", "5", "-stats")
+	if !strings.Contains(stats, "system gen5") {
+		t.Errorf("stats output malformed:\n%s", stats)
+	}
+
+	// DOT view.
+	dot := run(t, bin, "mmgen", "-seed", "5", "-dot")
+	if !strings.HasPrefix(dot, "digraph") {
+		t.Errorf("dot output malformed: %.60s", dot)
+	}
+
+	// Synthesise with a reduced GA; save the mapping and SVG charts.
+	out := run(t, bin, "mmsynth", "-spec", spec, "-dvs",
+		"-pop", "16", "-gens", "40", "-stagnation", "15",
+		"-save", mapping, "-svg", filepath.Join(work, "chart"))
+	if !strings.Contains(out, "feasible    : true") {
+		t.Fatalf("synthesis not feasible:\n%s", out)
+	}
+	if fi, err := os.Stat(mapping); err != nil || fi.Size() == 0 {
+		t.Fatalf("mapping not saved: %v", err)
+	}
+	svgs, _ := filepath.Glob(filepath.Join(work, "chart-*.svg"))
+	if len(svgs) == 0 {
+		t.Error("no SVG charts written")
+	}
+
+	// Re-evaluate the saved mapping: identical power, no GA run.
+	out2 := run(t, bin, "mmsynth", "-spec", spec, "-dvs", "-mapping", mapping)
+	p1 := extractLine(out, "average power")
+	p2 := extractLine(out2, "average power")
+	if p1 == "" || p1 != p2 {
+		t.Errorf("saved mapping power %q != synthesis power %q", p2, p1)
+	}
+
+	// Simulate the saved mapping over a recorded trace; replaying the
+	// trace must reproduce the measured power exactly.
+	simOut := run(t, bin, "mmsim", "-spec", spec, "-dvs", "-mapping", mapping,
+		"-horizon", "60", "-save-trace", trace)
+	if !strings.Contains(simOut, "simulated average power") {
+		t.Fatalf("simulation output malformed:\n%s", simOut)
+	}
+	replay := run(t, bin, "mmsim", "-spec", spec, "-dvs", "-mapping", mapping,
+		"-trace", trace)
+	s1 := extractLine(simOut, "simulated average power")
+	s2 := extractLine(replay, "simulated average power")
+	if s1 == "" || s1 != s2 {
+		t.Errorf("trace replay power %q != original %q", s2, s1)
+	}
+
+	// The figures reproduce the paper's exact numbers.
+	figs := run(t, bin, "mmbench", "-figures")
+	if !strings.Contains(figs, "26.7158") || !strings.Contains(figs, "15.7423") {
+		t.Errorf("figure reproduction missing the paper's numbers:\n%s", figs)
+	}
+}
+
+// extractLine returns the trimmed remainder of the first line containing
+// the prefix.
+func extractLine(out, prefix string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, prefix) {
+			return strings.TrimSpace(line)
+		}
+	}
+	return ""
+}

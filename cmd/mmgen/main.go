@@ -1,0 +1,171 @@
+// Command mmgen generates random multi-mode co-synthesis problem instances
+// (TGFF-style) and writes them as spec files for mmsynth, as Graphviz DOT
+// documents, or as statistics summaries.
+//
+// Emit one instance to stdout:
+//
+//	mmgen -seed 42
+//
+// Regenerate the paper's benchmark suite mul1..mul12 into a directory:
+//
+//	mmgen -muls -dir specs/
+//
+// Render the smart phone's OMSM and task graphs:
+//
+//	mmgen -smartphone -dot | dot -Tsvg > phone.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"momosyn/internal/bench"
+	"momosyn/internal/gen"
+	"momosyn/internal/model"
+	"momosyn/internal/specio"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "generator seed")
+		modes = flag.Int("modes", 0, "override number of modes (0 = envelope default)")
+		pes   = flag.Int("pes", 0, "override number of PEs")
+		cls   = flag.Int("cls", 0, "override number of CLs")
+		mul   = flag.Int("mul", 0, "emit benchmark mulN (1..12) instead of a seeded instance")
+		muls  = flag.Bool("muls", false, "emit all twelve mul benchmarks")
+		phone = flag.Bool("smartphone", false, "emit the smart phone benchmark")
+		dir   = flag.String("dir", "", "output directory for -muls (default: current)")
+		out   = flag.String("o", "", "output file (default: stdout)")
+		dot   = flag.Bool("dot", false, "emit Graphviz DOT instead of the spec format")
+		stats = flag.Bool("stats", false, "print instance statistics instead of the spec")
+	)
+	flag.Parse()
+
+	if *muls {
+		for i := 1; i <= bench.NumMuls; i++ {
+			sys, err := bench.MulSystem(i)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*dir, fmt.Sprintf("mul%d.spec", i))
+			if err := emit(path, func(w io.Writer) error { return specio.Write(w, sys) }); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d modes, %d tasks)\n", path, len(sys.App.Modes), sys.App.TotalTasks())
+		}
+		return
+	}
+
+	var sys *model.System
+	var err error
+	switch {
+	case *phone:
+		sys, err = bench.SmartPhone()
+	case *mul > 0:
+		sys, err = bench.MulSystem(*mul)
+	default:
+		p := gen.NewParams(*seed)
+		if *modes > 0 {
+			p.Modes = *modes
+		}
+		if *pes > 0 {
+			p.PEs = *pes
+		}
+		if *cls > 0 {
+			p.CLs = *cls
+		}
+		sys, err = gen.Generate(p)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *stats:
+		printStats(sys)
+	case *dot:
+		if err := emit(*out, func(w io.Writer) error { return specio.WriteDOT(w, sys) }); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := emit(*out, func(w io.Writer) error { return specio.Write(w, sys) }); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// emit writes through fn to the file, or stdout when path is empty.
+func emit(path string, fn func(io.Writer) error) error {
+	if path == "" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printStats summarises the instance: per-mode graph shapes, type sharing
+// and hardware capacity pressure.
+func printStats(sys *model.System) {
+	fmt.Printf("system %s: %d modes, %d tasks, %d edges, %d types\n",
+		sys.App.Name, len(sys.App.Modes), sys.App.TotalTasks(), sys.App.TotalEdges(), len(sys.Lib.Types))
+	fmt.Printf("%-12s %6s %6s %6s %8s %10s\n", "mode", "prob", "tasks", "edges", "period", "sw-serial")
+	for _, m := range sys.App.Modes {
+		serial := 0.0
+		for _, task := range m.Graph.Tasks {
+			best := 0.0
+			for _, im := range sys.Lib.Type(task.Type).Impls {
+				if pe := sys.Arch.PE(im.PE); pe.Class.IsSoftware() {
+					if best == 0 || im.Time < best {
+						best = im.Time
+					}
+				}
+			}
+			serial += best
+		}
+		fmt.Printf("%-12s %6.3f %6d %6d %8s %9.3gms\n",
+			m.Name, m.Prob, len(m.Graph.Tasks), len(m.Graph.Edges),
+			specio.FormatTime(m.Period), serial*1e3)
+	}
+	shared := 0
+	for _, tt := range sys.Lib.Types {
+		modes := map[model.ModeID]bool{}
+		for mi, m := range sys.App.Modes {
+			for _, task := range m.Graph.Tasks {
+				if task.Type == tt.ID {
+					modes[model.ModeID(mi)] = true
+				}
+			}
+		}
+		if len(modes) > 1 {
+			shared++
+		}
+	}
+	fmt.Printf("types used in >1 mode: %d of %d\n", shared, len(sys.Lib.Types))
+	for _, pe := range sys.Arch.PEs {
+		if !pe.Class.IsHardware() {
+			continue
+		}
+		demand := 0
+		for _, tt := range sys.Lib.Types {
+			if im, ok := tt.ImplOn(pe.ID); ok {
+				demand += im.Area
+			}
+		}
+		fmt.Printf("PE %s (%s): area %d, total core demand %d (%.0f%%)\n",
+			pe.Name, pe.Class, pe.Area, demand, float64(demand)/float64(pe.Area)*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mmgen:", err)
+	os.Exit(1)
+}

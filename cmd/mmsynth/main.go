@@ -1,0 +1,259 @@
+// Command mmsynth synthesises an energy-efficient implementation of a
+// multi-mode system specification: task mapping, hardware core allocation,
+// communication mapping, scheduling and (optionally) voltage scaling, per
+// the DATE 2003 methodology of Schmitz, Al-Hashimi and Eles.
+//
+//	mmgen -seed 7 | mmsynth -dvs
+//	mmsynth -spec smartphone.spec -dvs -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"momosyn/internal/ga"
+	"momosyn/internal/gantt"
+	"momosyn/internal/model"
+	"momosyn/internal/specio"
+	"momosyn/internal/synth"
+)
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "specification file (default: stdin)")
+		useDVS    = flag.Bool("dvs", false, "enable dynamic voltage scaling")
+		neglect   = flag.Bool("neglect-probabilities", false, "optimise assuming uniform mode probabilities (baseline)")
+		seed      = flag.Int64("seed", 1, "optimisation seed")
+		pop       = flag.Int("pop", 64, "GA population size")
+		gens      = flag.Int("gens", 300, "GA generation limit")
+		stag      = flag.Int("stagnation", 80, "GA stagnation limit")
+		verbose   = flag.Bool("v", false, "print the per-mode schedules")
+		save      = flag.String("save", "", "write the best task mapping to this file")
+		useMap    = flag.String("mapping", "", "evaluate a saved mapping instead of synthesising")
+		showGantt = flag.Bool("gantt", false, "print text Gantt charts of the per-mode schedules")
+		svgPrefix = flag.String("svg", "", "write one SVG Gantt chart per mode to PREFIX-<mode>.svg")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	sys, err := specio.Read(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res *synth.Result
+	if *useMap != "" {
+		f, err := os.Open(*useMap)
+		if err != nil {
+			fatal(err)
+		}
+		mapping, err := specio.ReadMapping(f, sys)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		ev, err := synth.NewEvaluator(sys, *useDVS).Evaluate(mapping)
+		if err != nil {
+			fatal(err)
+		}
+		res = &synth.Result{Best: ev, ObjectivePower: ev.AvgPower, GA: &ga.Result{}}
+	} else {
+		var err error
+		res, err = synth.Synthesize(sys, synth.Options{
+			UseDVS:               *useDVS,
+			NeglectProbabilities: *neglect,
+			GA:                   ga.Config{PopSize: *pop, MaxGenerations: *gens, Stagnation: *stag},
+			Seed:                 *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := specio.WriteMapping(f, sys, res.Best.Mapping); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote mapping to %s\n", *save)
+	}
+	report(os.Stdout, sys, res, *verbose)
+	if *showGantt {
+		fmt.Println()
+		for m := range sys.App.Modes {
+			if err := gantt.WriteText(os.Stdout, sys, model.ModeID(m), res.Best.Schedules[m], 100); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+	if *svgPrefix != "" {
+		for m, mode := range sys.App.Modes {
+			path := fmt.Sprintf("%s-%s.svg", *svgPrefix, mode.Name)
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := gantt.WriteSVG(f, sys, model.ModeID(m), res.Best.Schedules[m]); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	if !res.Best.Feasible() {
+		os.Exit(2)
+	}
+}
+
+func report(w io.Writer, sys *model.System, res *synth.Result, verbose bool) {
+	best := res.Best
+	fmt.Fprintf(w, "system      : %s (%d modes, %d tasks)\n",
+		sys.App.Name, len(sys.App.Modes), sys.App.TotalTasks())
+	fmt.Fprintf(w, "average power: %s (Eq. 1, true probabilities)\n", fmtPower(best.AvgPower))
+	fmt.Fprintf(w, "feasible    : %v\n", best.Feasible())
+	fmt.Fprintf(w, "optimisation: %d generations, %d evaluations, %v\n",
+		res.GA.Generations, res.GA.Evaluations, res.Elapsed.Round(1e6))
+
+	fmt.Fprintf(w, "\n%-16s %10s %12s %12s %10s\n", "mode", "prob", "dynamic", "static", "weighted")
+	for m, mode := range sys.App.Modes {
+		mp := best.ModePowers[m]
+		fmt.Fprintf(w, "%-16s %10.4f %12s %12s %10s\n",
+			mode.Name, mode.Prob,
+			fmtPower(mp.Dynamic()), fmtPower(mp.StaticPower),
+			fmtPower(mp.Total()*mode.Prob))
+	}
+
+	fmt.Fprintf(w, "\nhardware cores:\n")
+	for _, pe := range sys.Arch.PEs {
+		if !pe.Class.IsHardware() {
+			continue
+		}
+		names := coreNames(sys, best, pe.ID)
+		fmt.Fprintf(w, "  %-8s area %4d/%4d cells: %s\n",
+			pe.Name, maxUsed(best, pe.ID), pe.Area, names)
+	}
+
+	fmt.Fprintf(w, "\ntask mapping:\n")
+	for m, mode := range sys.App.Modes {
+		fmt.Fprintf(w, "  %s:", mode.Name)
+		for ti, task := range mode.Graph.Tasks {
+			fmt.Fprintf(w, " %s->%s", task.Name, sys.Arch.PE(best.Mapping[m][ti]).Name)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if !verbose {
+		return
+	}
+	fmt.Fprintf(w, "\nschedules:\n")
+	for m, mode := range sys.App.Modes {
+		sc := best.Schedules[m]
+		fmt.Fprintf(w, "  mode %s (period %s, makespan %s):\n",
+			mode.Name, specio.FormatTime(mode.Period), specio.FormatTime(sc.Makespan))
+		order := make([]int, len(sc.Tasks))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return sc.Tasks[order[a]].Start < sc.Tasks[order[b]].Start })
+		for _, ti := range order {
+			slot := sc.Tasks[ti]
+			pe := sys.Arch.PE(slot.PE)
+			volt := ""
+			if slot.VoltIdx >= 0 && pe.DVS {
+				volt = fmt.Sprintf(" @%gV", pe.Levels[slot.VoltIdx])
+			}
+			fmt.Fprintf(w, "    %-14s [%10s %10s] on %s%s  E=%s\n",
+				mode.Graph.Task(model.TaskID(ti)).Name,
+				specio.FormatTime(slot.Start), specio.FormatTime(slot.Finish),
+				pe.Name, volt, fmtEnergy(slot.Energy))
+		}
+	}
+}
+
+// fmtPower renders watts compactly for reports (fixed digits, unlike the
+// spec writer's loss-free form).
+func fmtPower(w float64) string {
+	switch {
+	case w >= 1:
+		return fmt.Sprintf("%.4gW", w)
+	case w >= 1e-3:
+		return fmt.Sprintf("%.4gmW", w*1e3)
+	default:
+		return fmt.Sprintf("%.4guW", w*1e6)
+	}
+}
+
+func fmtEnergy(j float64) string {
+	switch {
+	case j >= 1e-3:
+		return fmt.Sprintf("%.3gmJ", j*1e3)
+	case j >= 1e-6:
+		return fmt.Sprintf("%.3guJ", j*1e6)
+	default:
+		return fmt.Sprintf("%.3gnJ", j*1e9)
+	}
+}
+
+// coreNames lists the task types with at least one core instance on the PE
+// in any mode, with instance counts.
+func coreNames(sys *model.System, ev *synth.Evaluation, pe model.PEID) string {
+	out := ""
+	for _, tt := range sys.Lib.Types {
+		max := 0
+		for m := range sys.App.Modes {
+			if n := ev.Alloc.Instances(model.ModeID(m), pe, tt.ID); n > max {
+				max = n
+			}
+		}
+		if max == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += tt.Name
+		if max > 1 {
+			out += fmt.Sprintf("x%d", max)
+		}
+	}
+	if out == "" {
+		return "(none)"
+	}
+	return out
+}
+
+func maxUsed(ev *synth.Evaluation, pe model.PEID) int {
+	max := 0
+	for m := range ev.Alloc.UsedArea {
+		if a := ev.Alloc.UsedArea[m][pe]; a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mmsynth:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+// Package momosyn is a co-synthesis framework for energy-efficient
+// multi-mode embedded systems, reproducing Schmitz, Al-Hashimi and Eles,
+// "A Co-Design Methodology for Energy-Efficient Multi-Mode Embedded
+// Systems with Consideration of Mode Execution Probabilities" (DATE 2003).
+//
+// The implementation lives under internal/:
+//
+//	model   - OMSM specification, architecture, technology library
+//	specio  - text format for system specifications
+//	sched   - mobility analysis, list scheduling, communication mapping
+//	energy  - power model (paper Eq. 1) and DVS scaling laws
+//	dvs     - voltage selection incl. the Fig. 5 hardware-core transform
+//	ga      - genetic algorithm engine
+//	synth   - the co-synthesis (mapping GA, core allocation, penalties)
+//	gen     - TGFF-style random benchmark generator
+//	bench   - paper benchmarks (Figs. 2/3, mul1-mul12, smart phone),
+//	          the Table 1-3 experiment harness and the ablation study
+//	sim     - discrete-event execution simulator and usage traces
+//	gantt   - text/SVG Gantt charts of per-mode schedules
+//
+// Command-line tools: cmd/mmgen (instance generation, DOT export,
+// statistics), cmd/mmsynth (synthesis of one spec, mapping persistence,
+// Gantt charts), cmd/mmbench (regenerate the paper's tables, figures and
+// the ablation study), cmd/mmsim (trace-driven validation). Runnable
+// examples are under examples/.
+package momosyn

@@ -1,0 +1,85 @@
+// Tradeoff explores the power/area design space of the smart phone with
+// the NSGA-II extension: instead of treating the ASIC areas as hard
+// constraints, hardware utilisation becomes a second objective, and the
+// resulting Pareto front shows what every extra cell of silicon buys in
+// average power — the architectural question the paper's authors explore
+// in their LOPOCOS work.
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"momosyn/internal/bench"
+	"momosyn/internal/ga"
+	"momosyn/internal/model"
+	"momosyn/internal/synth"
+)
+
+func main() {
+	sys, err := bench.SmartPhone()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	front, err := synth.Pareto(sys, synth.ParetoOptions{
+		UseDVS: true,
+		GA:     ga.Config{PopSize: 64, MaxGenerations: 120},
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Power/area Pareto front of the smart phone (DVS enabled).")
+	fmt.Println("AreaFrac is the worst-case hardware utilisation; > 1.00 would")
+	fmt.Println("need a larger die than the specified ASICs provide.")
+	fmt.Println()
+	fmt.Printf("%10s %10s %9s  %s\n", "power", "area", "feasible", "utilisation")
+	for _, pt := range front {
+		if !pt.Feasible {
+			continue
+		}
+		bar := strings.Repeat("=", int(pt.AreaFrac*30+0.5))
+		fmt.Printf("%8.4f mW %9.1f%% %9v  |%s\n",
+			pt.Power*1e3, pt.AreaFrac*100, pt.Feasible, bar)
+	}
+
+	// Show the hardware content of the extremes.
+	var cheapest, leanest *synth.ParetoPoint
+	for i := range front {
+		if !front[i].Feasible {
+			continue
+		}
+		if cheapest == nil || front[i].Power < cheapest.Power {
+			cheapest = &front[i]
+		}
+		if leanest == nil || front[i].AreaFrac < leanest.AreaFrac {
+			leanest = &front[i]
+		}
+	}
+	if cheapest == nil {
+		log.Fatal("no feasible point on the front")
+	}
+	fmt.Println()
+	describe(sys, "lowest power", cheapest)
+	describe(sys, "least silicon", leanest)
+}
+
+func describe(sys *model.System, tag string, pt *synth.ParetoPoint) {
+	fmt.Printf("%s: %.4f mW at %.0f%% utilisation; hardware tasks per mode:",
+		tag, pt.Power*1e3, pt.AreaFrac*100)
+	for m, mode := range sys.App.Modes {
+		n := 0
+		for ti := range mode.Graph.Tasks {
+			if sys.Arch.PE(pt.Mapping[m][ti]).Class.IsHardware() {
+				n++
+			}
+		}
+		fmt.Printf(" %d", n)
+	}
+	fmt.Println()
+}

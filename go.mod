@@ -1,0 +1,3 @@
+module momosyn
+
+go 1.22

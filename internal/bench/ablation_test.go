@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationStrings(t *testing.T) {
+	want := map[Ablation]string{
+		AblFull:          "full technique",
+		AblNoImprovement: "no improvement mutations",
+		AblNoReplicas:    "no replica cores",
+		AblSWOnlyDVS:     "software-only DVS",
+		AblNeglectProbs:  "probabilities neglected",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), s)
+		}
+	}
+	if !strings.Contains(Ablation(42).String(), "42") {
+		t.Error("unknown ablation string")
+	}
+}
+
+func TestAblationOptionsTranslate(t *testing.T) {
+	if o := AblNoImprovement.options(true); !o.NoImprovementMutations || !o.UseDVS {
+		t.Errorf("NoImprovement options = %+v", o)
+	}
+	if o := AblNoReplicas.options(false); !o.NoReplicaCores || o.UseDVS {
+		t.Errorf("NoReplicas options = %+v", o)
+	}
+	if o := AblSWOnlyDVS.options(true); !o.DVSSoftwareOnly {
+		t.Errorf("SWOnlyDVS options = %+v", o)
+	}
+	if o := AblNeglectProbs.options(true); !o.NeglectProbabilities {
+		t.Errorf("NeglectProbs options = %+v", o)
+	}
+	if o := AblFull.options(true); o.NoImprovementMutations || o.NoReplicaCores ||
+		o.DVSSoftwareOnly || o.NeglectProbabilities {
+		t.Errorf("full options must be clean: %+v", o)
+	}
+}
+
+func TestAblationStudyOnFigure2(t *testing.T) {
+	sys, err := Figure2System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rows, err := AblationStudy(sys, false, tinyCfg(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without DVS: full + 3 ablations (no SW-only-DVS row).
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if rows[0].Ablation != AblFull {
+		t.Fatal("first row must be the reference")
+	}
+	// Fig. 2 has no static power and huge slack, so the probability
+	// ablation is the one that hurts (the paper's 41%); the others are
+	// neutral on this tiny instance.
+	var neglect *AblationRow
+	for i := range rows {
+		if rows[i].Ablation == AblNeglectProbs {
+			neglect = &rows[i]
+		}
+	}
+	if neglect == nil {
+		t.Fatal("missing probability ablation row")
+	}
+	if neglect.Stats.FeasibleRuns == neglect.Stats.Runs && neglect.DeltaPct < 20 {
+		t.Errorf("neglecting probabilities should cost ~41%%, got %+.2f%%", neglect.DeltaPct)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "full technique") || !strings.Contains(out, "(reference)") {
+		t.Errorf("output malformed:\n%s", out)
+	}
+}
+
+func TestAblationStudyWithDVSHasSWOnlyRow(t *testing.T) {
+	sys, err := Figure2System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := AblationStudy(sys, true, tinyCfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows {
+		if r.Ablation == AblSWOnlyDVS {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("DVS study must include the software-only DVS row")
+	}
+}
+
+func TestFormatAblationRowInfeasible(t *testing.T) {
+	r := AblationRow{Ablation: AblNoImprovement}
+	r.Stats.Runs = 3
+	r.Stats.FeasibleRuns = 1
+	r.Stats.Power = 1e-3
+	if s := formatAblationRow(r); !strings.Contains(s, "infeasible") {
+		t.Errorf("partially infeasible row must be flagged: %q", s)
+	}
+}

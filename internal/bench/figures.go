@@ -1,0 +1,160 @@
+// Package bench defines the paper's benchmark instances — the motivational
+// examples of Figs. 2 and 3, the twelve generated examples mul1–mul12, and
+// the smart-phone real-life example — and the experiment harness that
+// regenerates Tables 1–3.
+package bench
+
+import (
+	"momosyn/internal/model"
+)
+
+// ms converts milliseconds to seconds.
+func ms(v float64) float64 { return v * 1e-3 }
+
+// mw converts milliwatts to watts.
+func mw(v float64) float64 { return v * 1e-3 }
+
+// uws converts microwatt-seconds (µJ) and mws milliwatt-seconds (mJ) to
+// joules; powers in the figure tables are derived as energy/time.
+func uws(v float64) float64 { return v * 1e-6 }
+func mws(v float64) float64 { return v * 1e-3 }
+
+// Figure2System builds the motivational example of paper Fig. 2: two
+// operational modes with three tasks each (types A–C in mode 1, D–F in
+// mode 2), executing on a GPP (PE0) plus a 600-cell ASIC (PE1) joined by a
+// bus. Mode probabilities are Ψ1 = 0.1 and Ψ2 = 0.9. Timing and
+// communication issues are neglected (zero-byte edges, one-second periods,
+// zero static power), exactly as in the paper's example, so the
+// probability-weighted energies reproduce the published 26.7158 mWs vs
+// 15.7423 mWs.
+func Figure2System() (*model.System, error) {
+	b := model.NewBuilder("figure2")
+	b.AddPE(model.PE{Name: "PE0", Class: model.GPP, Vmax: 3.3, Vt: 0.8})
+	b.AddPE(model.PE{Name: "PE1", Class: model.ASIC, Vmax: 3.3, Vt: 0.8, Area: 600})
+	b.AddCL(model.CL{Name: "CL0", BytesPerSec: 1e6}, "PE0", "PE1")
+
+	// Task type table of section 2.3: SW exec time / SW dynamic energy,
+	// HW exec time / HW dynamic energy / core area. Powers are E/t.
+	type row struct {
+		name     string
+		swT, swE float64 // ms, mWs
+		hwT, hwE float64 // ms, mWs (hwE given in µWs in the paper)
+		area     int
+	}
+	rows := []row{
+		{"A", 20, 10, 2.0, 0.010, 240},
+		{"B", 28, 14, 2.2, 0.012, 300},
+		{"C", 32, 16, 1.6, 0.023, 275},
+		{"D", 26, 13, 3.1, 0.047, 245},
+		{"E", 30, 15, 1.8, 0.015, 210},
+		{"F", 24, 14, 2.2, 0.032, 280},
+	}
+	for _, r := range rows {
+		b.AddType(r.name,
+			model.ImplSpec{PE: "PE0", Time: ms(r.swT), Power: mws(r.swE) / ms(r.swT)},
+			model.ImplSpec{PE: "PE1", Time: ms(r.hwT), Power: mws(r.hwE) / ms(r.hwT), Area: r.area},
+		)
+	}
+
+	b.BeginMode("O1", 0.1, 1.0)
+	b.AddTask("t1", "A", 0)
+	b.AddTask("t2", "B", 0)
+	b.AddTask("t3", "C", 0)
+	b.AddEdge("t1", "t2", 0)
+	b.AddEdge("t2", "t3", 0)
+
+	b.BeginMode("O2", 0.9, 1.0)
+	b.AddTask("t4", "D", 0)
+	b.AddTask("t5", "E", 0)
+	b.AddTask("t6", "F", 0)
+	b.AddEdge("t4", "t5", 0)
+	b.AddEdge("t5", "t6", 0)
+
+	b.AddTransition("O1", "O2", 0)
+	b.AddTransition("O2", "O1", 0)
+	return b.Finish()
+}
+
+// Figure2MappingB returns the paper's mapping of Fig. 2b — the optimum when
+// probabilities are neglected: τ3 and τ5 in hardware, everything else in
+// software.
+func Figure2MappingB(s *model.System) model.Mapping {
+	m := model.NewMapping(s.App)
+	pe0, pe1 := model.PEID(0), model.PEID(1)
+	m[0][0], m[0][1], m[0][2] = pe0, pe0, pe1 // t1,t2 SW; t3 HW
+	m[1][0], m[1][1], m[1][2] = pe0, pe1, pe0 // t4 SW; t5 HW; t6 SW
+	return m
+}
+
+// Figure2MappingC returns the paper's mapping of Fig. 2c — the optimum
+// under the true execution probabilities: τ5 and τ6 in hardware.
+func Figure2MappingC(s *model.System) model.Mapping {
+	m := model.NewMapping(s.App)
+	pe0, pe1 := model.PEID(0), model.PEID(1)
+	m[0][0], m[0][1], m[0][2] = pe0, pe0, pe0
+	m[1][0], m[1][1], m[1][2] = pe0, pe1, pe1
+	return m
+}
+
+// Figure3System builds the motivational example of paper Fig. 3: task type
+// A appears in both modes (τ1 in mode 1, τ4 in mode 2), enabling hardware
+// resource sharing. Mode 1 repeats ten times faster than mode 2, so the
+// hardware implementation of A amortises its component's static power only
+// in mode 1: the energy-optimal implementation duplicates type A — hardware
+// for τ1, software for τ4 — allowing PE1 and the bus to be shut down during
+// mode 2 (paper Fig. 3c), beating the fully shared mapping of Fig. 3b.
+func Figure3System() (*model.System, error) {
+	b := model.NewBuilder("figure3")
+	b.AddPE(model.PE{Name: "PE0", Class: model.GPP, Vmax: 3.3, Vt: 0.8, StaticPower: mw(0.2)})
+	b.AddPE(model.PE{Name: "PE1", Class: model.ASIC, Vmax: 3.3, Vt: 0.8, Area: 600, StaticPower: mw(15)})
+	b.AddCL(model.CL{Name: "CL0", BytesPerSec: 1e6, StaticPower: mw(2)}, "PE0", "PE1")
+
+	// Type A is fast and cheap in hardware; B/C/E/F are software-only, so
+	// only the placement of the two type-A tasks is free.
+	b.AddType("A",
+		model.ImplSpec{PE: "PE0", Time: ms(20), Power: mws(10) / ms(20)},
+		model.ImplSpec{PE: "PE1", Time: ms(2), Power: uws(10) / ms(2), Area: 240},
+	)
+	b.AddType("B", model.ImplSpec{PE: "PE0", Time: ms(28), Power: mws(14) / ms(28)})
+	b.AddType("C", model.ImplSpec{PE: "PE0", Time: ms(32), Power: mws(16) / ms(32)})
+	b.AddType("E", model.ImplSpec{PE: "PE0", Time: ms(30), Power: mws(15) / ms(30)})
+	b.AddType("F", model.ImplSpec{PE: "PE0", Time: ms(24), Power: mws(14) / ms(24)})
+
+	b.BeginMode("O1", 0.3, 0.1)
+	b.AddTask("t1", "A", 0)
+	b.AddTask("t2", "B", 0)
+	b.AddTask("t3", "C", 0)
+	b.AddEdge("t1", "t2", 1000)
+	b.AddEdge("t1", "t3", 1000)
+
+	b.BeginMode("O2", 0.7, 1.0)
+	b.AddTask("t4", "A", 0)
+	b.AddTask("t5", "E", 0)
+	b.AddTask("t6", "F", 0)
+	b.AddEdge("t4", "t5", 1000)
+	b.AddEdge("t5", "t6", 1000)
+
+	b.AddTransition("O1", "O2", 0)
+	b.AddTransition("O2", "O1", 0)
+	return b.Finish()
+}
+
+// Figure3MappingShared returns Fig. 3b: both type-A tasks share the
+// hardware core, so PE1 stays powered in both modes.
+func Figure3MappingShared(s *model.System) model.Mapping {
+	m := model.NewMapping(s.App)
+	pe0, pe1 := model.PEID(0), model.PEID(1)
+	m[0][0], m[0][1], m[0][2] = pe1, pe0, pe0
+	m[1][0], m[1][1], m[1][2] = pe1, pe0, pe0
+	return m
+}
+
+// Figure3MappingDuplicated returns Fig. 3c: type A is implemented twice —
+// τ1 in hardware, τ4 in software — enabling PE1/CL0 shut-down in mode 2.
+func Figure3MappingDuplicated(s *model.System) model.Mapping {
+	m := model.NewMapping(s.App)
+	pe0, pe1 := model.PEID(0), model.PEID(1)
+	m[0][0], m[0][1], m[0][2] = pe1, pe0, pe0
+	m[1][0], m[1][1], m[1][2] = pe0, pe0, pe0
+	return m
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"testing"
+
+	"momosyn/internal/energy"
+	"momosyn/internal/ga"
+	"momosyn/internal/model"
+	"momosyn/internal/synth"
+)
+
+// TestFigure2MappingEnergies reproduces the exact probability-weighted
+// energies of the paper's section 2.3 example: 26.7158 mWs for the
+// probability-neglecting mapping (Fig. 2b) and 15.7423 mWs for the
+// probability-aware one (Fig. 2c), a 41% reduction.
+func TestFigure2MappingEnergies(t *testing.T) {
+	sys, err := Figure2System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := synth.NewEvaluator(sys, false)
+
+	evB, err := ev.Evaluate(Figure2MappingB(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evC, err := ev.Evaluate(Figure2MappingC(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periods are one second, so average power in mW equals the paper's
+	// probability-weighted energy in mWs.
+	gotB := evB.AvgPower * 1e3
+	gotC := evC.AvgPower * 1e3
+	if !energy.ApproxEqual(gotB, 26.7158, 1e-9) {
+		t.Errorf("mapping B: power %.6f mW, want 26.7158", gotB)
+	}
+	if !energy.ApproxEqual(gotC, 15.7423, 1e-9) {
+		t.Errorf("mapping C: power %.6f mW, want 15.7423", gotC)
+	}
+	red := energy.RelativeReduction(gotB, gotC)
+	if red < 41.0 || red > 41.2 {
+		t.Errorf("reduction %.2f%%, paper reports 41%%", red)
+	}
+	if !evB.Feasible() || !evC.Feasible() {
+		t.Errorf("both paper mappings must be feasible (B=%v C=%v)", evB.Feasible(), evC.Feasible())
+	}
+}
+
+// TestFigure2Exhaustive verifies that exhaustive search under the true
+// probabilities returns the Fig. 2c mapping, and under uniform
+// (probability-neglecting) weights the Fig. 2b mapping.
+func TestFigure2Exhaustive(t *testing.T) {
+	sys, err := Figure2System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestTrue, err := synth.Exhaustive(sys, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Figure2MappingC(sys); !bestTrue.Mapping.Equal(want) {
+		t.Errorf("true-probability optimum = %v, want Fig. 2c %v", bestTrue.Mapping, want)
+	}
+	bestUni, err := synth.Exhaustive(sys, false, synth.UniformProbs(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Figure2MappingB(sys); !bestUni.Mapping.Equal(want) {
+		t.Errorf("uniform-probability optimum = %v, want Fig. 2b %v", bestUni.Mapping, want)
+	}
+}
+
+// TestFigure2GA verifies the genetic co-synthesis finds the global optimum
+// of the small example and that the probability-neglecting baseline lands
+// on the worse implementation when judged under the true profile.
+func TestFigure2GA(t *testing.T) {
+	sys, err := Figure2System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ga.Config{PopSize: 24, MaxGenerations: 80, Stagnation: 25}
+	res, err := synth.Synthesize(sys, synth.Options{GA: cfg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Best.AvgPower * 1e3; !energy.ApproxEqual(got, 15.7423, 1e-9) {
+		t.Errorf("GA best power %.6f mW, want 15.7423", got)
+	}
+	neg, err := synth.Synthesize(sys, synth.Options{GA: cfg, Seed: 1, NeglectProbabilities: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := neg.Best.AvgPower * 1e3; !energy.ApproxEqual(got, 26.7158, 1e-9) {
+		t.Errorf("neglecting GA power under true profile %.6f mW, want 26.7158", got)
+	}
+}
+
+// TestFigure3Duplication verifies the multiple-implementation effect of
+// paper Fig. 3: duplicating task type A (hardware in mode 1, software in
+// mode 2) beats full hardware sharing because PE1 and CL0 shut down during
+// the dominant mode, and exhaustive search finds exactly that mapping.
+func TestFigure3Duplication(t *testing.T) {
+	sys, err := Figure3System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := synth.NewEvaluator(sys, false)
+	shared, err := ev.Evaluate(Figure3MappingShared(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := ev.Evaluate(Figure3MappingDuplicated(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.AvgPower >= shared.AvgPower {
+		t.Errorf("duplicated mapping %.4f mW not better than shared %.4f mW",
+			dup.AvgPower*1e3, shared.AvgPower*1e3)
+	}
+	// In the duplicated mapping, mode 2 uses neither PE1 nor CL0: both can
+	// be shut down, so mode 2's static power is PE0's alone.
+	pe0 := sys.Arch.PEs[0]
+	if got := dup.ModePowers[1].StaticPower; !energy.ApproxEqual(got, pe0.StaticPower, 1e-12) {
+		t.Errorf("mode 2 static power %.6f mW, want PE0-only %.6f mW", got*1e3, pe0.StaticPower*1e3)
+	}
+	best, err := synth.Exhaustive(sys, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Figure3MappingDuplicated(sys); !best.Mapping.Equal(want) {
+		t.Errorf("optimum = %v, want duplicated mapping %v", best.Mapping, want)
+	}
+}
+
+// TestFigure3SharedKeepsPE1Powered pins the contrast of Fig. 3b: with both
+// type-A tasks in hardware, PE1's static power burdens every mode.
+func TestFigure3SharedKeepsPE1Powered(t *testing.T) {
+	sys, err := Figure3System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := synth.NewEvaluator(sys, false)
+	shared, err := ev.Evaluate(Figure3MappingShared(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe0, pe1 := sys.Arch.PEs[0], sys.Arch.PEs[1]
+	cl0 := sys.Arch.CLs[0]
+	wantStatic := pe0.StaticPower + pe1.StaticPower + cl0.StaticPower
+	for m := range shared.ModePowers {
+		if got := shared.ModePowers[m].StaticPower; !energy.ApproxEqual(got, wantStatic, 1e-12) {
+			t.Errorf("mode %d static power %.6f mW, want %.6f mW", m, got*1e3, wantStatic*1e3)
+		}
+	}
+}
+
+// TestFigure2MappingValidation exercises Mapping.Validate on the example.
+func TestFigure2MappingValidation(t *testing.T) {
+	sys, err := Figure2System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure2MappingB(sys).Validate(sys); err != nil {
+		t.Errorf("mapping B should validate: %v", err)
+	}
+	bad := Figure2MappingB(sys)
+	bad[0][0] = model.PEID(99)
+	if err := bad.Validate(sys); err == nil {
+		t.Error("mapping to unknown PE must fail validation")
+	}
+}

@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"momosyn/internal/energy"
+	"momosyn/internal/ga"
+	"momosyn/internal/model"
+	"momosyn/internal/synth"
+)
+
+// HarnessConfig tunes an experiment run. The paper averaged 40 optimisation
+// runs per cell; the default here is smaller so the full suite stays
+// laptop-friendly, and can be raised via the Reps field or cmd/mmbench
+// -reps.
+type HarnessConfig struct {
+	// Reps is the number of GA runs averaged per table cell (default 5).
+	Reps int
+	// Parallel bounds the number of concurrently running synthesis jobs
+	// within a cell (default 1 = serial). Results are deterministic
+	// regardless: every repetition has its own seed and the aggregation is
+	// order-independent.
+	Parallel int
+	// BaseSeed offsets the per-repetition seeds.
+	BaseSeed int64
+	// GA tunes the engine; the zero value selects the harness defaults
+	// (population 64, up to 300 generations, stagnation 80).
+	GA ga.Config
+	// Weights are the fitness penalty weights (zero = defaults).
+	Weights synth.Weights
+}
+
+func (c HarnessConfig) withDefaults() HarnessConfig {
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = 1
+	}
+	if c.GA.PopSize == 0 && c.GA.MaxGenerations == 0 {
+		c.GA = DefaultGA()
+	}
+	return c
+}
+
+// DefaultGA returns the GA configuration used for the table experiments.
+func DefaultGA() ga.Config {
+	return ga.Config{PopSize: 64, MaxGenerations: 300, Stagnation: 80}
+}
+
+// CellStats aggregates the repetitions of one table cell (one instance, one
+// approach).
+type CellStats struct {
+	// Power is the mean Eq. (1) average power under the true execution
+	// probabilities (watts).
+	Power float64
+	// MinPower/MaxPower bound the repetitions.
+	MinPower, MaxPower float64
+	// CPUTime is the mean optimisation wall-clock time.
+	CPUTime time.Duration
+	// FeasibleRuns counts repetitions whose best candidate met every
+	// constraint.
+	FeasibleRuns, Runs int
+}
+
+// Row is one line of Table 1/2/3: probability-neglecting versus proposed.
+type Row struct {
+	Name    string
+	Modes   int
+	Without CellStats // execution probabilities neglected during synthesis
+	With    CellStats // proposed: probabilities drive the synthesis
+	// ReductionPct is the paper's "Reduc. (%)" column.
+	ReductionPct float64
+}
+
+// RunCell synthesises the system Reps times with distinct seeds and
+// averages the outcomes. Repetitions run Parallel-wide; aggregation is
+// order-independent so results match the serial protocol exactly.
+func RunCell(sys *model.System, useDVS, neglect bool, cfg HarnessConfig) (CellStats, error) {
+	cfg = cfg.withDefaults()
+	type outcome struct {
+		power    float64
+		elapsed  time.Duration
+		feasible bool
+		err      error
+	}
+	outs := make([]outcome, cfg.Reps)
+	sem := make(chan struct{}, cfg.Parallel)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Reps; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := synth.Synthesize(sys, synth.Options{
+				UseDVS:               useDVS,
+				NeglectProbabilities: neglect,
+				Weights:              cfg.Weights,
+				GA:                   cfg.GA,
+				Seed:                 cfg.BaseSeed + int64(r)*7919,
+			})
+			if err != nil {
+				outs[r] = outcome{err: err}
+				return
+			}
+			outs[r] = outcome{
+				power:    res.Best.AvgPower,
+				elapsed:  res.Elapsed,
+				feasible: res.Best.Feasible(),
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	var cs CellStats
+	for _, o := range outs {
+		if o.err != nil {
+			return cs, o.err
+		}
+		if cs.Runs == 0 || o.power < cs.MinPower {
+			cs.MinPower = o.power
+		}
+		if cs.Runs == 0 || o.power > cs.MaxPower {
+			cs.MaxPower = o.power
+		}
+		cs.Power += o.power
+		cs.CPUTime += o.elapsed
+		if o.feasible {
+			cs.FeasibleRuns++
+		}
+		cs.Runs++
+	}
+	cs.Power /= float64(cs.Runs)
+	cs.CPUTime /= time.Duration(cs.Runs)
+	return cs, nil
+}
+
+// Compare runs both approaches on one instance and assembles the table row.
+func Compare(name string, sys *model.System, useDVS bool, cfg HarnessConfig) (Row, error) {
+	without, err := RunCell(sys, useDVS, true, cfg)
+	if err != nil {
+		return Row{}, err
+	}
+	with, err := RunCell(sys, useDVS, false, cfg)
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Name:         name,
+		Modes:        len(sys.App.Modes),
+		Without:      without,
+		With:         with,
+		ReductionPct: energy.RelativeReduction(without.Power, with.Power),
+	}, nil
+}
+
+// Table1 regenerates paper Table 1 (mul1–mul12, no DVS): the effect of
+// considering execution probabilities. Progress rows stream to w (nil
+// discards them).
+func Table1(cfg HarnessConfig, w io.Writer) ([]Row, error) {
+	return mulTable(false, cfg, w)
+}
+
+// Table2 regenerates paper Table 2 (mul1–mul12, with DVS on both software
+// processors and hardware cores).
+func Table2(cfg HarnessConfig, w io.Writer) ([]Row, error) {
+	return mulTable(true, cfg, w)
+}
+
+func mulTable(useDVS bool, cfg HarnessConfig, w io.Writer) ([]Row, error) {
+	rows := make([]Row, 0, NumMuls)
+	if w != nil {
+		fmt.Fprint(w, tableHeader(useDVS))
+	}
+	for i := 1; i <= NumMuls; i++ {
+		sys, err := MulSystem(i)
+		if err != nil {
+			return nil, err
+		}
+		row, err := Compare(fmt.Sprintf("mul%d", i), sys, useDVS, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: mul%d: %w", i, err)
+		}
+		rows = append(rows, row)
+		if w != nil {
+			fmt.Fprint(w, formatRow(row))
+		}
+	}
+	if w != nil {
+		fmt.Fprint(w, formatSummary(rows))
+	}
+	return rows, nil
+}
+
+// Table3 regenerates paper Table 3: the smart-phone example without and
+// with DVS.
+func Table3(cfg HarnessConfig, w io.Writer) ([]Row, error) {
+	sys, err := SmartPhone()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, useDVS := range []bool{false, true} {
+		name := "smartphone w/o DVS"
+		if useDVS {
+			name = "smartphone with DVS"
+		}
+		if w != nil && !useDVS {
+			fmt.Fprint(w, tableHeader(false))
+		}
+		row, err := Compare(name, sys, useDVS, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if w != nil {
+			fmt.Fprint(w, formatRow(row))
+		}
+	}
+	return rows, nil
+}
+
+func tableHeader(useDVS bool) string {
+	tag := "w/o DVS"
+	if useDVS {
+		tag = "with DVS"
+	}
+	return fmt.Sprintf(
+		"%-22s | %13s %9s | %13s %9s | %8s\n%s\n",
+		"Example ("+tag+")",
+		"P w/o prob.", "CPU", "P with prob.", "CPU", "Reduc.",
+		"-----------------------+-------------------------+-------------------------+---------",
+	)
+}
+
+func formatRow(r Row) string {
+	return fmt.Sprintf("%-16s (%d) | %10.4f mW %8.1fs | %10.4f mW %8.1fs | %7.2f%%\n",
+		r.Name, r.Modes,
+		r.Without.Power*1e3, r.Without.CPUTime.Seconds(),
+		r.With.Power*1e3, r.With.CPUTime.Seconds(),
+		r.ReductionPct)
+}
+
+func formatSummary(rows []Row) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	sum, best := 0.0, rows[0].ReductionPct
+	for _, r := range rows {
+		sum += r.ReductionPct
+		if r.ReductionPct > best {
+			best = r.ReductionPct
+		}
+	}
+	return fmt.Sprintf("%-22s | mean reduction %.2f%%, best %.2f%%\n",
+		"summary", sum/float64(len(rows)), best)
+}

@@ -1,0 +1,134 @@
+package bench
+
+import "momosyn/internal/model"
+
+// SDR builds a software-defined-radio handset benchmark: four operational
+// modes (paging idle, GSM link, Bluetooth link, Wi-Fi scan) sharing one
+// DVS-capable GPP and one reconfigurable, DVS-capable FPGA over a bus.
+//
+// Unlike the smart phone (whose ASICs hold a static core set), the SDR's
+// signal-processing cores live on the FPGA and are swapped at mode
+// changes, so this instance exercises the parts of the methodology the
+// smart phone cannot: per-mode FPGA working sets, reconfiguration times
+// against the OMSM's transition limits (the Transition Improvement
+// mutation's territory), and DVS on hardware cores via the Fig. 5
+// transformation.
+//
+// The FPGA fits any single mode's cores but not the union, so transitions
+// genuinely reconfigure; the idle<->gsm limits are sized to allow two core
+// swaps while the gsm<->bt limit only allows one, steering the synthesis
+// towards mappings that keep the swap set small.
+func SDR() (*model.System, error) {
+	b := model.NewBuilder("sdr")
+	b.AddPE(model.PE{
+		Name: "GPP", Class: model.GPP, DVS: true,
+		Vmax: 3.3, Vt: 0.8, Levels: []float64{1.2, 1.8, 2.5, 3.3},
+		StaticPower: mw(0.15),
+	})
+	b.AddPE(model.PE{
+		Name: "FPGA", Class: model.FPGA, DVS: true,
+		Vmax: 3.3, Vt: 0.8, Levels: []float64{1.8, 2.5, 3.3},
+		Area: 1100, ReconfigTime: ms(8),
+		StaticPower: mw(0.6),
+	})
+	b.AddCL(model.CL{
+		Name: "BUS", BytesPerSec: 8e6,
+		PowerActive: mw(1.2), StaticPower: mw(0.08),
+	}, "GPP", "FPGA")
+
+	// Task types. Hardware areas are sized so each mode's natural core set
+	// fits the 1100-cell FPGA while the union (2280 cells) does not.
+	type sdrType struct {
+		name      string
+		swUS      float64
+		swMW      float64
+		hw        bool
+		speedup   float64
+		powerFrac float64
+		area      int
+	}
+	types := []sdrType{
+		{name: "CORR", swUS: 2800, swMW: 24, hw: true, speedup: 45, powerFrac: 0.04, area: 320},
+		{name: "EQ", swUS: 3600, swMW: 26, hw: true, speedup: 50, powerFrac: 0.04, area: 360},
+		{name: "DEMOD", swUS: 2600, swMW: 22, hw: true, speedup: 40, powerFrac: 0.05, area: 300},
+		{name: "VIT", swUS: 4400, swMW: 28, hw: true, speedup: 60, powerFrac: 0.03, area: 380},
+		{name: "GFSK", swUS: 2000, swMW: 20, hw: true, speedup: 35, powerFrac: 0.05, area: 260},
+		{name: "FFT", swUS: 3200, swMW: 25, hw: true, speedup: 45, powerFrac: 0.04, area: 340},
+		{name: "OFDM", swUS: 3800, swMW: 27, hw: true, speedup: 55, powerFrac: 0.04, area: 320},
+		{name: "VOC", swUS: 1200, swMW: 18, hw: false},
+		{name: "CTRL", swUS: 80, swMW: 7, hw: false},
+		{name: "PARSE", swUS: 100, swMW: 8, hw: false},
+		{name: "CRC", swUS: 60, swMW: 6, hw: false},
+	}
+	for _, tt := range types {
+		impls := []model.ImplSpec{{PE: "GPP", Time: tt.swUS * 1e-6, Power: mw(tt.swMW)}}
+		if tt.hw {
+			impls = append(impls, model.ImplSpec{
+				PE:    "FPGA",
+				Time:  tt.swUS * 1e-6 / tt.speedup,
+				Power: mw(tt.swMW) * tt.powerFrac * tt.speedup,
+				Area:  tt.area,
+			})
+		}
+		b.AddType(tt.name, impls...)
+	}
+
+	t := func(name, tt string) { b.AddTask(name, tt, 0) }
+	e := func(src, dst string, bytes float64) { b.AddEdge(src, dst, bytes) }
+
+	// Paging idle: wake, correlate against the paging sequence, decide.
+	b.BeginMode("idle", 0.60, ms(100))
+	t("wake", "CTRL")
+	t("pagecorr", "CORR")
+	t("decide", "CTRL")
+	e("wake", "pagecorr", 128)
+	e("pagecorr", "decide", 32)
+
+	// GSM link: receive chain + Viterbi + vocoder, every 20 ms frame.
+	b.BeginMode("gsm", 0.25, ms(20))
+	t("burst", "PARSE")
+	t("equalize", "EQ")
+	t("demod", "DEMOD")
+	t("deint", "PARSE")
+	t("viterbi", "VIT")
+	t("crc", "CRC")
+	t("vocoder", "VOC")
+	e("burst", "equalize", 312)
+	e("equalize", "demod", 312)
+	e("demod", "deint", 456)
+	e("deint", "viterbi", 456)
+	e("viterbi", "crc", 260)
+	e("crc", "vocoder", 260)
+
+	// Bluetooth link: frequency hop, GFSK demodulation, HEC, payload.
+	b.BeginMode("bt", 0.10, ms(10))
+	t("hop", "CTRL")
+	t("gfsk", "GFSK")
+	t("hec", "CRC")
+	t("payload", "PARSE")
+	e("hop", "gfsk", 64)
+	e("gfsk", "hec", 366)
+	e("hec", "payload", 339)
+
+	// Wi-Fi scan: FFT, preamble correlation, OFDM demap, beacon parse.
+	b.BeginMode("wifiscan", 0.05, ms(50))
+	t("fft", "FFT")
+	t("preamble", "CORR")
+	t("ofdm", "OFDM")
+	t("beacon", "PARSE")
+	e("fft", "preamble", 1024)
+	e("preamble", "ofdm", 512)
+	e("ofdm", "beacon", 1536)
+
+	// Transition limits: idle<->gsm and idle<->wifiscan allow two 8 ms
+	// core swaps; the latency-critical gsm<->bt hand-off allows only one.
+	b.AddTransition("idle", "gsm", ms(20))
+	b.AddTransition("gsm", "idle", ms(20))
+	b.AddTransition("idle", "bt", ms(20))
+	b.AddTransition("bt", "idle", ms(20))
+	b.AddTransition("gsm", "bt", ms(10))
+	b.AddTransition("bt", "gsm", ms(10))
+	b.AddTransition("idle", "wifiscan", ms(20))
+	b.AddTransition("wifiscan", "idle", ms(20))
+	return b.Finish()
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"testing"
+
+	"momosyn/internal/ga"
+	"momosyn/internal/model"
+	"momosyn/internal/synth"
+)
+
+func sdrGA() ga.Config {
+	return ga.Config{PopSize: 48, MaxGenerations: 150, Stagnation: 50}
+}
+
+func TestSDRStructure(t *testing.T) {
+	sys, err := SDR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.App.Modes) != 4 {
+		t.Fatalf("modes = %d, want 4", len(sys.App.Modes))
+	}
+	fpga := sys.Arch.PEs[1]
+	if fpga.Class != model.FPGA || !fpga.DVS || fpga.ReconfigTime <= 0 {
+		t.Fatal("PE1 must be a DVS-capable reconfigurable FPGA")
+	}
+	// The union of all hardware cores must exceed the FPGA (reconfiguration
+	// is genuinely needed), while each single mode's natural set fits.
+	union := 0
+	for _, tt := range sys.Lib.Types {
+		if im, ok := tt.ImplOn(fpga.ID); ok {
+			union += im.Area
+		}
+	}
+	if union <= fpga.Area {
+		t.Errorf("core union %d fits the FPGA %d: no reconfiguration pressure", union, fpga.Area)
+	}
+	for _, m := range sys.App.Modes {
+		perMode := 0
+		seen := map[model.TaskTypeID]bool{}
+		for _, task := range m.Graph.Tasks {
+			if seen[task.Type] {
+				continue
+			}
+			seen[task.Type] = true
+			if im, ok := sys.Lib.Type(task.Type).ImplOn(fpga.ID); ok {
+				perMode += im.Area
+			}
+		}
+		if perMode > fpga.Area {
+			t.Errorf("mode %s full hardware set %d exceeds FPGA %d", m.Name, perMode, fpga.Area)
+		}
+	}
+}
+
+func TestSDRSynthesisMeetsTransitionLimits(t *testing.T) {
+	sys, err := SDR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := synth.Synthesize(sys, synth.Options{UseDVS: true, GA: sdrGA(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.Feasible() {
+		t.Fatalf("SDR synthesis infeasible (penalties: timing %v, area %v, trans %v)",
+			res.Best.TimingPenalty, res.Best.AreaPenalty, res.Best.TransPenalty)
+	}
+	for i, tr := range sys.App.Transitions {
+		if tr.MaxTime > 0 && res.Best.TransTimes[i] > tr.MaxTime+1e-12 {
+			t.Errorf("transition %d takes %v, limit %v",
+				i, res.Best.TransTimes[i], tr.MaxTime)
+		}
+	}
+	// The best implementation should actually use the FPGA in at least one
+	// mode (the hardware kernels are 35-60x cheaper in energy).
+	usesFPGA := false
+	for m := range sys.App.Modes {
+		if res.Best.Mapping.UsesPE(model.ModeID(m), 1) {
+			usesFPGA = true
+		}
+	}
+	if !usesFPGA {
+		t.Error("no mode uses the FPGA: hardware trade-off lost")
+	}
+}
+
+func TestSDRProbabilityAwarenessWins(t *testing.T) {
+	sys, err := SDR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HarnessConfig{Reps: 3, GA: sdrGA(), Parallel: 3}
+	row, err := Compare("sdr", sys, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a 60% idle mode and rare Wi-Fi scanning, neglecting the usage
+	// profile must not win; allow a small noise margin.
+	if row.ReductionPct < -3 {
+		t.Errorf("probability awareness lost by %.2f%%", -row.ReductionPct)
+	}
+	t.Logf("SDR DVS reduction: %.2f%% (%.4f -> %.4f mW)",
+		row.ReductionPct, row.Without.Power*1e3, row.With.Power*1e3)
+}

@@ -1,0 +1,30 @@
+package dvs_test
+
+import (
+	"fmt"
+
+	"momosyn/internal/dvs"
+	"momosyn/internal/sched"
+)
+
+// ExampleTransform reproduces the hardware-core DVS transformation of
+// paper Fig. 5: parallel executions on the cores of one scalable hardware
+// component fold into a chain of sequential virtual tasks, each carrying
+// the combined power of the cores active during its interval.
+func ExampleTransform() {
+	slots := []sched.TaskSlot{
+		{Task: 0, Core: 0, Start: 0, Finish: 4, Power: 1e-3},
+		{Task: 1, Core: 0, Start: 4, Finish: 6, Power: 2e-3},
+		{Task: 2, Core: 1, Start: 1, Finish: 4, Power: 4e-3},
+		{Task: 3, Core: 1, Start: 4, Finish: 5, Power: 8e-3},
+		{Task: 4, Core: 1, Start: 5, Finish: 6, Power: 16e-3},
+	}
+	for _, seg := range dvs.Transform(slots) {
+		fmt.Printf("[%g,%g) %2.0fmW %v\n", seg.Start, seg.End, seg.Power*1e3, seg.Active)
+	}
+	// Output:
+	// [0,1)  1mW [0]
+	// [1,4)  5mW [0 2]
+	// [4,5) 10mW [1 3]
+	// [5,6) 18mW [1 4]
+}

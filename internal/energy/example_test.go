@@ -1,0 +1,23 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"momosyn/internal/energy"
+)
+
+// ExampleScaledTime shows the alpha-power delay law: lowering the supply
+// from 3.3 V to 1.8 V stretches a task's execution time while TaskEnergy
+// shows the quadratic energy saving.
+func ExampleScaledTime() {
+	const vmax, vt = 3.3, 0.8
+	for _, vdd := range []float64{3.3, 2.5, 1.8} {
+		t := energy.ScaledTime(1.0, vdd, vmax, vt)
+		e := energy.TaskEnergy(1.0, 1.0, vdd, vmax)
+		fmt.Printf("%.1fV: time x%.2f, energy x%.2f\n", vdd, t, e)
+	}
+	// Output:
+	// 3.3V: time x1.00, energy x1.00
+	// 2.5V: time x1.64, energy x0.57
+	// 1.8V: time x3.41, energy x0.30
+}

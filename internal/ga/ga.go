@@ -1,0 +1,311 @@
+// Package ga provides the genetic-algorithm engine driving the outer
+// optimisation loop of the multi-mode co-synthesis: a steady-state GA over
+// integer strings with linear-rank fitness scaling, tournament mating
+// selection, two-point crossover, offspring insertion, allele mutation and
+// pluggable problem-specific improvement mutations (paper Fig. 4).
+//
+// Fitness is minimised. All randomness flows through an injected
+// *rand.Rand, so runs are reproducible given a seed.
+package ga
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Problem defines the search space and objective. Genomes are integer
+// strings; locus i takes alleles in [0, Alleles(i)).
+type Problem interface {
+	// GenomeLen returns the number of loci.
+	GenomeLen() int
+	// Alleles returns the number of admissible alleles at locus i (>= 1).
+	Alleles(i int) int
+	// Fitness evaluates a genome; lower is better. It must be
+	// deterministic for a given genome.
+	Fitness(genome []int) float64
+}
+
+// Mutator is a problem-specific improvement operator. It may rewrite the
+// genome in place and reports whether it changed anything (triggering
+// re-evaluation). The engine decides which individuals to pass in.
+type Mutator func(genome []int, rng *rand.Rand) bool
+
+// Config tunes the engine. Zero values select the defaults noted per
+// field.
+type Config struct {
+	// PopSize is the population size (default 32).
+	PopSize int
+	// MaxGenerations bounds the run (default 200).
+	MaxGenerations int
+	// Stagnation stops the run after this many generations without
+	// improvement of the best individual (default 40), matching the paper's
+	// convergence criterion of diversity plus elapsed iterations without an
+	// improved individual.
+	Stagnation int
+	// Offspring is the number of children produced and inserted per
+	// generation (default PopSize/2).
+	Offspring int
+	// TournamentSize is the mating tournament size (default 2).
+	TournamentSize int
+	// MutationRate is the per-locus probability of a random allele change
+	// applied to offspring (default 1/GenomeLen).
+	MutationRate float64
+	// SelectionPressure in [1,2] sets the linear-ranking slope (default
+	// 1.8): the best individual is picked SelectionPressure times more
+	// often than the median.
+	SelectionPressure float64
+	// ImprovementRate is the probability that each improvement mutator is
+	// applied to a randomly picked non-elite individual per generation
+	// (default 0.02 per the paper's shut-down strategy, scaled by
+	// population size).
+	ImprovementRate float64
+	// MinDiversity, when positive, adds the paper's second convergence
+	// signal: the run stops early once the fraction of distinct genomes in
+	// the population falls below this threshold while the best individual
+	// has stagnated for at least half the Stagnation limit.
+	MinDiversity float64
+}
+
+func (c Config) withDefaults(genomeLen int) Config {
+	if c.PopSize <= 0 {
+		c.PopSize = 32
+	}
+	if c.MaxGenerations <= 0 {
+		c.MaxGenerations = 200
+	}
+	if c.Stagnation <= 0 {
+		c.Stagnation = 40
+	}
+	if c.Offspring <= 0 {
+		c.Offspring = c.PopSize / 2
+		if c.Offspring < 1 {
+			c.Offspring = 1
+		}
+	}
+	if c.TournamentSize <= 0 {
+		c.TournamentSize = 2
+	}
+	if c.MutationRate <= 0 {
+		if genomeLen > 0 {
+			c.MutationRate = 1 / float64(genomeLen)
+		} else {
+			c.MutationRate = 0.05
+		}
+	}
+	if c.SelectionPressure < 1 || c.SelectionPressure > 2 {
+		c.SelectionPressure = 1.8
+	}
+	if c.ImprovementRate <= 0 {
+		c.ImprovementRate = 0.02
+	}
+	return c
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	Best        []int
+	BestFitness float64
+	Generations int
+	Evaluations int
+	// History records the best fitness after every generation.
+	History []float64
+}
+
+type individual struct {
+	genome  []int
+	fitness float64
+}
+
+type engine struct {
+	p     Problem
+	cfg   Config
+	rng   *rand.Rand
+	muts  []Mutator
+	pop   []individual
+	evals int
+}
+
+// Run executes the GA and returns the best genome found. Improvement
+// mutators are applied, each with probability cfg.ImprovementRate per
+// individual per generation, to non-elite individuals.
+func Run(p Problem, cfg Config, rng *rand.Rand, mutators ...Mutator) *Result {
+	n := p.GenomeLen()
+	cfg = cfg.withDefaults(n)
+	e := &engine{p: p, cfg: cfg, rng: rng, muts: mutators}
+	e.initPopulation()
+
+	best := e.cloneBest()
+	res := &Result{}
+	stagnant := 0
+	gen := 0
+	for ; gen < cfg.MaxGenerations && stagnant < cfg.Stagnation; gen++ {
+		e.generation()
+		cur := e.cloneBest()
+		if cur.fitness < best.fitness-1e-15 {
+			best = cur
+			stagnant = 0
+		} else {
+			stagnant++
+		}
+		res.History = append(res.History, best.fitness)
+		if cfg.MinDiversity > 0 && stagnant >= cfg.Stagnation/2 && e.diversity() < cfg.MinDiversity {
+			gen++
+			break
+		}
+	}
+	res.Best = best.genome
+	res.BestFitness = best.fitness
+	res.Generations = gen
+	res.Evaluations = e.evals
+	return res
+}
+
+func (e *engine) randomGenome() []int {
+	n := e.p.GenomeLen()
+	g := make([]int, n)
+	for i := 0; i < n; i++ {
+		g[i] = e.rng.Intn(e.p.Alleles(i))
+	}
+	return g
+}
+
+func (e *engine) eval(g []int) float64 {
+	e.evals++
+	return e.p.Fitness(g)
+}
+
+func (e *engine) initPopulation() {
+	e.pop = make([]individual, e.cfg.PopSize)
+	for i := range e.pop {
+		g := e.randomGenome()
+		e.pop[i] = individual{genome: g, fitness: e.eval(g)}
+	}
+	e.sortPop()
+}
+
+// sortPop orders the population best-first (ascending fitness) with a
+// deterministic tie-break on the genome contents.
+func (e *engine) sortPop() {
+	sort.SliceStable(e.pop, func(i, j int) bool {
+		return e.pop[i].fitness < e.pop[j].fitness
+	})
+}
+
+func (e *engine) cloneBest() individual {
+	b := e.pop[0]
+	return individual{genome: append([]int(nil), b.genome...), fitness: b.fitness}
+}
+
+// rankWeights returns linear-ranking selection weights, best first.
+func (e *engine) rankWeights() []float64 {
+	n := len(e.pop)
+	w := make([]float64, n)
+	sp := e.cfg.SelectionPressure
+	for i := 0; i < n; i++ {
+		// Baker's linear ranking: weight of rank i (0 = best).
+		w[i] = sp - (2*sp-2)*float64(i)/math.Max(1, float64(n-1))
+	}
+	return w
+}
+
+// selectParent runs a tournament over rank weights: draw TournamentSize
+// individuals, keep the one with the highest selection weight (= best
+// rank).
+func (e *engine) selectParent(weights []float64) int {
+	best := e.rng.Intn(len(e.pop))
+	for k := 1; k < e.cfg.TournamentSize; k++ {
+		c := e.rng.Intn(len(e.pop))
+		if weights[c] > weights[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// crossover performs two-point crossover of the parents, returning one
+// child (the second is implicitly explored by later generations).
+func (e *engine) crossover(a, b []int) []int {
+	n := len(a)
+	child := append([]int(nil), a...)
+	if n < 2 {
+		return child
+	}
+	p1 := e.rng.Intn(n)
+	p2 := e.rng.Intn(n)
+	if p1 > p2 {
+		p1, p2 = p2, p1
+	}
+	copy(child[p1:p2+1], b[p1:p2+1])
+	return child
+}
+
+func (e *engine) mutate(g []int) {
+	for i := range g {
+		if e.rng.Float64() < e.cfg.MutationRate {
+			g[i] = e.rng.Intn(e.p.Alleles(i))
+		}
+	}
+}
+
+// generation produces offspring, inserts them replacing the worst
+// individuals, and applies the improvement mutators.
+func (e *engine) generation() {
+	weights := e.rankWeights()
+	offspring := make([]individual, 0, e.cfg.Offspring)
+	for len(offspring) < e.cfg.Offspring {
+		pa := e.selectParent(weights)
+		pb := e.selectParent(weights)
+		child := e.crossover(e.pop[pa].genome, e.pop[pb].genome)
+		e.mutate(child)
+		offspring = append(offspring, individual{genome: child, fitness: e.eval(child)})
+	}
+	// Offspring insertion: replace the tail (worst) of the population.
+	n := len(e.pop)
+	for i, child := range offspring {
+		e.pop[n-1-i] = child
+	}
+	e.sortPop()
+
+	// Improvement mutations: each mutator hits each non-elite individual
+	// with probability ImprovementRate.
+	for _, mut := range e.muts {
+		for i := 1; i < len(e.pop); i++ {
+			if e.rng.Float64() >= e.cfg.ImprovementRate {
+				continue
+			}
+			if mut(e.pop[i].genome, e.rng) {
+				e.pop[i].fitness = e.eval(e.pop[i].genome)
+			}
+		}
+	}
+	e.sortPop()
+}
+
+// diversity returns the fraction of distinct genomes in the current
+// population.
+func (e *engine) diversity() float64 {
+	genomes := make([][]int, len(e.pop))
+	for i := range e.pop {
+		genomes[i] = e.pop[i].genome
+	}
+	return Diversity(genomes)
+}
+
+// Diversity returns the fraction of distinct genomes in the final
+// population of a result history; exposed for tests via the package-level
+// helper below.
+func Diversity(genomes [][]int) float64 {
+	if len(genomes) == 0 {
+		return 0
+	}
+	seen := make(map[string]bool)
+	for _, g := range genomes {
+		key := make([]byte, 0, len(g)*2)
+		for _, v := range g {
+			key = append(key, byte(v), byte(v>>8))
+		}
+		seen[string(key)] = true
+	}
+	return float64(len(seen)) / float64(len(genomes))
+}

@@ -1,0 +1,139 @@
+package ga
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// biObjective is a classic two-objective toy: genome values map to x in
+// [0,1]; f1 = x, f2 = 1-x ... with a granular trade-off so the front
+// should cover the whole range.
+type biObjective struct{ n int }
+
+func (p biObjective) GenomeLen() int  { return p.n }
+func (p biObjective) Alleles(int) int { return 2 }
+
+func (p biObjective) x(g []int) float64 {
+	s := 0
+	for _, v := range g {
+		s += v
+	}
+	return float64(s) / float64(p.n)
+}
+
+func (p biObjective) Objectives(g []int) []float64 {
+	x := p.x(g)
+	return []float64{x, (1 - x) * (1 - x)}
+}
+
+func TestDominates(t *testing.T) {
+	if !Dominates([]float64{1, 2}, []float64{2, 3}) {
+		t.Error("strictly better must dominate")
+	}
+	if !Dominates([]float64{1, 3}, []float64{2, 3}) {
+		t.Error("better-or-equal with one strict must dominate")
+	}
+	if Dominates([]float64{1, 4}, []float64{2, 3}) {
+		t.Error("trade-off must not dominate")
+	}
+	if Dominates([]float64{1, 2}, []float64{1, 2}) {
+		t.Error("equal vectors must not dominate")
+	}
+}
+
+func TestNSGA2FrontIsNonDominated(t *testing.T) {
+	p := biObjective{n: 12}
+	res := RunNSGA2(p, Config{PopSize: 40, MaxGenerations: 40}, rand.New(rand.NewSource(1)))
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	for i := range res.Front {
+		for j := range res.Front {
+			if i != j && Dominates(res.Front[i].Objectives, res.Front[j].Objectives) {
+				t.Fatalf("front point %d dominates %d", i, j)
+			}
+		}
+	}
+	if res.Evaluations == 0 || res.Generations == 0 {
+		t.Error("statistics missing")
+	}
+}
+
+func TestNSGA2FrontSpreads(t *testing.T) {
+	p := biObjective{n: 12}
+	res := RunNSGA2(p, Config{PopSize: 60, MaxGenerations: 60}, rand.New(rand.NewSource(2)))
+	// The true front is x in {0, 1/12, ..., 1}; expect wide coverage:
+	// both extremes plus several interior points.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, pt := range res.Front {
+		if pt.Objectives[0] < lo {
+			lo = pt.Objectives[0]
+		}
+		if pt.Objectives[0] > hi {
+			hi = pt.Objectives[0]
+		}
+	}
+	if lo > 0.01 || hi < 0.99 {
+		t.Errorf("front does not span the trade-off: [%v, %v]", lo, hi)
+	}
+	if len(res.Front) < 5 {
+		t.Errorf("front has only %d points", len(res.Front))
+	}
+}
+
+func TestNSGA2FrontSortedAndDeduped(t *testing.T) {
+	p := biObjective{n: 8}
+	res := RunNSGA2(p, Config{PopSize: 40, MaxGenerations: 40}, rand.New(rand.NewSource(3)))
+	for i := 1; i < len(res.Front); i++ {
+		if res.Front[i].Objectives[0] < res.Front[i-1].Objectives[0] {
+			t.Fatal("front not sorted by first objective")
+		}
+		if res.Front[i].Objectives[0] == res.Front[i-1].Objectives[0] &&
+			res.Front[i].Objectives[1] == res.Front[i-1].Objectives[1] {
+			t.Fatal("duplicate objective vectors on the front")
+		}
+	}
+}
+
+func TestNSGA2Deterministic(t *testing.T) {
+	p := biObjective{n: 10}
+	cfg := Config{PopSize: 20, MaxGenerations: 20}
+	a := RunNSGA2(p, cfg, rand.New(rand.NewSource(9)))
+	b := RunNSGA2(p, cfg, rand.New(rand.NewSource(9)))
+	if len(a.Front) != len(b.Front) {
+		t.Fatalf("front sizes differ: %d vs %d", len(a.Front), len(b.Front))
+	}
+	for i := range a.Front {
+		for k := range a.Front[i].Objectives {
+			if a.Front[i].Objectives[k] != b.Front[i].Objectives[k] {
+				t.Fatal("fronts differ for identical seeds")
+			}
+		}
+	}
+}
+
+// singleOpt has one objective; NSGA-II degenerates to elitist search and
+// must find the optimum.
+type singleOpt struct{ n int }
+
+func (p singleOpt) GenomeLen() int  { return p.n }
+func (p singleOpt) Alleles(int) int { return 3 }
+func (p singleOpt) Objectives(g []int) []float64 {
+	s := 0.0
+	for _, v := range g {
+		s += float64(2 - v)
+	}
+	return []float64{s}
+}
+
+func TestNSGA2SingleObjective(t *testing.T) {
+	p := singleOpt{n: 10}
+	res := RunNSGA2(p, Config{PopSize: 30, MaxGenerations: 60}, rand.New(rand.NewSource(4)))
+	if len(res.Front) != 1 {
+		t.Fatalf("single-objective front size = %d, want 1", len(res.Front))
+	}
+	if res.Front[0].Objectives[0] != 0 {
+		t.Errorf("optimum not found: %v", res.Front[0].Objectives)
+	}
+}

@@ -1,0 +1,230 @@
+// Package gantt renders synthesised mode schedules as Gantt charts, either
+// as plain text for terminals or as standalone SVG documents. Rows are
+// resources (software processors, hardware core instances, communication
+// links); bars are task executions and message transfers, annotated with
+// the selected supply voltage on DVS components.
+package gantt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"momosyn/internal/model"
+	"momosyn/internal/sched"
+)
+
+// Row is one resource lane of the chart.
+type Row struct {
+	Label string
+	Bars  []Bar
+}
+
+// Bar is one activity on a lane.
+type Bar struct {
+	Label         string
+	Start, Finish float64
+	// Voltage is the selected supply voltage, or 0 when not applicable.
+	Voltage float64
+	// Comm marks message transfers (rendered differently from tasks).
+	Comm bool
+}
+
+// Build assembles the chart rows of one mode's schedule: one lane per
+// software PE, per used hardware core instance, and per communication
+// link. Lanes appear in architecture order; core lanes are sorted by type
+// then instance.
+func Build(sys *model.System, modeID model.ModeID, sc *sched.Schedule) []Row {
+	mode := sys.App.Mode(modeID)
+	lanes := make(map[string][]Bar)
+	var order []string
+	add := func(key string, b Bar) {
+		if _, ok := lanes[key]; !ok {
+			order = append(order, key)
+		}
+		lanes[key] = append(lanes[key], b)
+	}
+	for ti := range sc.Tasks {
+		slot := sc.Tasks[ti]
+		pe := sys.Arch.PE(slot.PE)
+		task := mode.Graph.Task(model.TaskID(ti))
+		key := pe.Name
+		if pe.Class.IsHardware() {
+			key = fmt.Sprintf("%s/%s#%d", pe.Name, sys.Lib.Type(task.Type).Name, slot.Core)
+		}
+		volt := 0.0
+		if pe.DVS && slot.VoltIdx >= 0 {
+			volt = pe.Levels[slot.VoltIdx]
+		}
+		add(key, Bar{
+			Label:   task.Name,
+			Start:   slot.Start,
+			Finish:  slot.Finish,
+			Voltage: volt,
+		})
+	}
+	for ei := range sc.Comms {
+		cs := sc.Comms[ei]
+		if !cs.Routed || cs.CL == model.NoCL || cs.Time <= 0 {
+			continue
+		}
+		cl := sys.Arch.CL(cs.CL)
+		e := mode.Graph.Edge(model.EdgeID(ei))
+		add(cl.Name, Bar{
+			Label:  fmt.Sprintf("%s>%s", mode.Graph.Task(e.Src).Name, mode.Graph.Task(e.Dst).Name),
+			Start:  cs.Start,
+			Finish: cs.Finish,
+			Comm:   true,
+		})
+	}
+	sort.Strings(order)
+	rows := make([]Row, 0, len(order))
+	for _, key := range order {
+		bars := lanes[key]
+		sort.Slice(bars, func(i, j int) bool { return bars[i].Start < bars[j].Start })
+		rows = append(rows, Row{Label: key, Bars: bars})
+	}
+	return rows
+}
+
+// WriteText renders the chart with unicode block characters, one lane per
+// line, scaled to the given terminal width.
+func WriteText(w io.Writer, sys *model.System, modeID model.ModeID, sc *sched.Schedule, width int) error {
+	if width < 20 {
+		width = 80
+	}
+	mode := sys.App.Mode(modeID)
+	rows := Build(sys, modeID, sc)
+	span := mode.Period
+	if sc.Makespan > span {
+		span = sc.Makespan
+	}
+	if span <= 0 {
+		span = 1
+	}
+	labelW := 10
+	for _, r := range rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	chartW := width - labelW - 3
+	if chartW < 10 {
+		chartW = 10
+	}
+	if _, err := fmt.Fprintf(w, "mode %s: makespan %.3gms of period %.3gms\n",
+		mode.Name, sc.Makespan*1e3, mode.Period*1e3); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		line := make([]rune, chartW)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, b := range r.Bars {
+			i0 := int(b.Start / span * float64(chartW))
+			i1 := int(b.Finish / span * float64(chartW))
+			if i1 <= i0 {
+				i1 = i0 + 1
+			}
+			for i := i0; i < i1 && i < chartW; i++ {
+				if b.Comm {
+					line[i] = '~'
+				} else {
+					line[i] = '#'
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", labelW, r.Label, string(line)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SVG geometry constants.
+const (
+	svgRowH    = 26
+	svgBarH    = 18
+	svgLabelW  = 150
+	svgChartW  = 900
+	svgMarginT = 40
+	svgMarginB = 20
+)
+
+// WriteSVG renders the chart as a standalone SVG document.
+func WriteSVG(w io.Writer, sys *model.System, modeID model.ModeID, sc *sched.Schedule) error {
+	mode := sys.App.Mode(modeID)
+	rows := Build(sys, modeID, sc)
+	span := mode.Period
+	if sc.Makespan > span {
+		span = sc.Makespan
+	}
+	if span <= 0 {
+		span = 1
+	}
+	height := svgMarginT + len(rows)*svgRowH + svgMarginB
+	width := svgLabelW + svgChartW + 20
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text x="10" y="20" font-size="14">mode %s — makespan %.3g ms / period %.3g ms</text>`+"\n",
+		escape(mode.Name), sc.Makespan*1e3, mode.Period*1e3)
+
+	x := func(t float64) float64 { return svgLabelW + t/span*svgChartW }
+
+	// Period boundary.
+	px := x(mode.Period)
+	fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#d33" stroke-dasharray="4 3"/>`+"\n",
+		px, svgMarginT-6, px, height-svgMarginB+6)
+
+	for i, r := range rows {
+		y := svgMarginT + i*svgRowH
+		fmt.Fprintf(&sb, `<text x="10" y="%d">%s</text>`+"\n", y+svgBarH-4, escape(r.Label))
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			svgLabelW, y+svgRowH-3, svgLabelW+svgChartW, y+svgRowH-3)
+		for _, b := range r.Bars {
+			bx := x(b.Start)
+			bw := x(b.Finish) - bx
+			if bw < 1 {
+				bw = 1
+			}
+			fill := "#4a90d9"
+			if b.Comm {
+				fill = "#9aa0a6"
+			} else if b.Voltage > 0 {
+				// Scaled tasks render greener the lower the voltage.
+				fill = "#3cab5a"
+			}
+			title := fmt.Sprintf("%s [%.4g, %.4g] ms", b.Label, b.Start*1e3, b.Finish*1e3)
+			if b.Voltage > 0 {
+				title += fmt.Sprintf(" @ %.2g V", b.Voltage)
+			}
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" rx="2"><title>%s</title></rect>`+"\n",
+				bx, y, bw, svgBarH, fill, escape(title))
+			if bw > 30 {
+				fmt.Fprintf(&sb, `<text x="%.1f" y="%d" fill="#fff">%s</text>`+"\n",
+					bx+3, y+svgBarH-5, escape(clip(b.Label, int(bw/7))))
+			}
+		}
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func clip(s string, n int) string {
+	if n < 1 {
+		n = 1
+	}
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

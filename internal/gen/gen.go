@@ -1,0 +1,404 @@
+// Package gen generates random multi-mode co-synthesis problem instances
+// in the style of TGFF, matching the envelope of the paper's automatically
+// generated examples mul1–mul12: 3–5 operational modes of 8–32 tasks each,
+// architectures of 2–4 heterogeneous PEs (some DVS-enabled) connected by
+// 1–3 communication links, technology libraries in which hardware
+// implementations run 5–100 times faster than software ones at far lower
+// dynamic energy, and skewed mode execution probabilities.
+//
+// Two generation choices create the structural tension the paper exploits.
+// First, every mode draws most of its task types from a private pool and
+// only some from a pool shared across modes, so different modes compete for
+// hardware rather than agreeing on it. Second, each hardware PE's area is a
+// fraction of the total core area its implementable types would need, so
+// the synthesis must choose which types deserve silicon — and that choice
+// depends on how much operational time each mode really receives.
+//
+// Generation is fully deterministic given Params.Seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"momosyn/internal/model"
+)
+
+// Params controls instance generation. NewParams supplies the paper's
+// envelope; individual fields can be adjusted before calling Generate.
+type Params struct {
+	Seed int64
+	Name string
+
+	// Modes is the number of operational modes.
+	Modes int
+	// MinTasks/MaxTasks bound the per-mode task count.
+	MinTasks, MaxTasks int
+	// PEs and CLs size the architecture.
+	PEs, CLs int
+	// DVSProb is the probability that a PE supports voltage scaling.
+	DVSProb float64
+	// HWImplProb is the probability that a task type has an implementation
+	// on each hardware PE.
+	HWImplProb float64
+	// TypeReuse in (0,1] scales the per-mode type-pool size relative to the
+	// mode's task count; smaller values increase within-mode type reuse.
+	TypeReuse float64
+	// SharedFrac is the fraction of task-type draws taken from the pool
+	// shared across modes (the rest come from the mode's private pool).
+	SharedFrac float64
+	// AreaFrac is the hardware area budget as a fraction of the total core
+	// area demanded by all types implementable on the PE.
+	AreaFrac float64
+	// ProbSkew >= 0 controls how uneven the mode execution probabilities
+	// are (0 = uniform, 2-3 = strongly dominated by one mode).
+	ProbSkew float64
+	// Laxity scales the mode periods relative to the all-software serial
+	// execution time; values below 1 force parallelism or hardware use.
+	Laxity float64
+}
+
+// NewParams returns generation parameters within the paper's published
+// envelope, randomised per seed exactly like the instance itself.
+func NewParams(seed int64) Params {
+	rng := rand.New(rand.NewSource(seed))
+	return Params{
+		Seed:       seed,
+		Name:       fmt.Sprintf("gen%d", seed),
+		Modes:      3 + rng.Intn(3), // 3..5
+		MinTasks:   8,
+		MaxTasks:   32,
+		PEs:        2 + rng.Intn(3), // 2..4
+		CLs:        1 + rng.Intn(3), // 1..3
+		DVSProb:    0.5,
+		HWImplProb: 0.75,
+		TypeReuse:  0.35 + 0.25*rng.Float64(),
+		SharedFrac: 0.25,
+		AreaFrac:   0.30 + 0.20*rng.Float64(),
+		ProbSkew:   1 + 2*rng.Float64(),
+		Laxity:     0.50 + 0.30*rng.Float64(),
+	}
+}
+
+// draft structures hold the instance before emission through the builder,
+// so hardware areas can be derived from the drawn library.
+
+type draftImpl struct {
+	pe    string
+	time  float64
+	power float64
+	area  int
+}
+
+type draftType struct {
+	name   string
+	swTime float64 // representative software time (first SW impl)
+	impls  []draftImpl
+}
+
+type draftPE struct {
+	model.PE
+	areaDemand int
+}
+
+// Generate builds a random, validated system instance.
+func Generate(p Params) (*model.System, error) {
+	if p.Modes < 1 || p.PEs < 1 || p.CLs < 1 {
+		return nil, fmt.Errorf("gen: params need at least one mode, PE and CL")
+	}
+	if p.MinTasks < 1 || p.MaxTasks < p.MinTasks {
+		return nil, fmt.Errorf("gen: invalid task count bounds [%d,%d]", p.MinTasks, p.MaxTasks)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	pes := draftArch(rng, p)
+	var sw, hw []string
+	for i := range pes {
+		if pes[i].Class.IsHardware() {
+			hw = append(hw, pes[i].Name)
+		} else {
+			sw = append(sw, pes[i].Name)
+		}
+	}
+
+	taskCounts := make([]int, p.Modes)
+	for m := range taskCounts {
+		taskCounts[m] = p.MinTasks + rng.Intn(p.MaxTasks-p.MinTasks+1)
+	}
+
+	shared, home := draftPools(rng, p, taskCounts, sw, hw)
+
+	// Size hardware areas from the total demand of the drawn library.
+	all := append(append([]draftType(nil), shared...), flatten(home)...)
+	for i := range pes {
+		if !pes[i].Class.IsHardware() {
+			continue
+		}
+		demand := 0
+		for _, dt := range all {
+			for _, im := range dt.impls {
+				if im.pe == pes[i].Name {
+					demand += im.area
+				}
+			}
+		}
+		area := int(math.Round(float64(demand) * p.AreaFrac))
+		if area < 1 {
+			area = 1
+		}
+		pes[i].Area = area
+	}
+
+	// Emit through the builder.
+	b := model.NewBuilder(p.Name)
+	for i := range pes {
+		b.AddPE(pes[i].PE)
+	}
+	var peNames []string
+	for i := range pes {
+		peNames = append(peNames, pes[i].Name)
+	}
+	for i := 0; i < p.CLs; i++ {
+		b.AddCL(model.CL{
+			Name:        fmt.Sprintf("cl%d", i),
+			BytesPerSec: (2 + 6*rng.Float64()) * 1e6,        // 2-8 MB/s
+			PowerActive: (1 + 4*rng.Float64()) * 1e-3,       // 1-5 mW
+			StaticPower: (0.05 + 0.25*rng.Float64()) * 1e-3, // 0.05-0.3 mW
+		}, peNames...)
+	}
+	for _, dt := range all {
+		var impls []model.ImplSpec
+		for _, im := range dt.impls {
+			impls = append(impls, model.ImplSpec{PE: im.pe, Time: im.time, Power: im.power, Area: im.area})
+		}
+		b.AddType(dt.name, impls...)
+	}
+
+	probs := genProbs(rng, p.Modes, p.ProbSkew)
+	var modeNames []string
+	for m := 0; m < p.Modes; m++ {
+		name := fmt.Sprintf("mode%d", m)
+		modeNames = append(modeNames, name)
+		genMode(b, rng, p, name, m, probs[m], taskCounts[m], shared, home[m])
+	}
+	genTransitions(b, rng, modeNames)
+	return b.Finish()
+}
+
+func flatten(pools [][]draftType) []draftType {
+	var out []draftType
+	for _, pool := range pools {
+		out = append(out, pool...)
+	}
+	return out
+}
+
+// draftArch draws the processing elements: PE 0 is always a GPP; the rest
+// draw from all four classes with at least one hardware PE when two or more
+// PEs exist. Hardware areas are filled in later from the library demand.
+func draftArch(rng *rand.Rand, p Params) []draftPE {
+	classes := make([]model.PEClass, p.PEs)
+	classes[0] = model.GPP
+	for i := 1; i < p.PEs; i++ {
+		classes[i] = []model.PEClass{model.GPP, model.ASIP, model.ASIC, model.FPGA}[rng.Intn(4)]
+	}
+	if p.PEs >= 2 {
+		hasHW := false
+		for _, c := range classes[1:] {
+			if c.IsHardware() {
+				hasHW = true
+			}
+		}
+		if !hasHW {
+			classes[p.PEs-1] = []model.PEClass{model.ASIC, model.FPGA}[rng.Intn(2)]
+		}
+	}
+	pes := make([]draftPE, p.PEs)
+	for i, class := range classes {
+		pe := model.PE{
+			Name:        fmt.Sprintf("pe%d", i),
+			Class:       class,
+			Vmax:        3.3,
+			Vt:          0.8,
+			StaticPower: (0.2 + 1.0*rng.Float64()) * 1e-3, // 0.2-1.2 mW
+		}
+		if rng.Float64() < p.DVSProb {
+			pe.DVS = true
+			pe.Levels = voltageLevels(rng)
+		}
+		if class == model.FPGA {
+			pe.ReconfigTime = (1 + 4*rng.Float64()) * 1e-3 // 1-5 ms per core
+		}
+		pes[i] = draftPE{PE: pe}
+	}
+	return pes
+}
+
+func voltageLevels(rng *rand.Rand) []float64 {
+	all := []float64{1.2, 1.5, 1.8, 2.1, 2.5, 2.9}
+	n := 2 + rng.Intn(3) // 2-4 scaled levels below Vmax
+	start := rng.Intn(len(all) - n + 1)
+	levels := append([]float64(nil), all[start:start+n]...)
+	return append(levels, 3.3)
+}
+
+// draftPools draws the shared type pool and one private pool per mode.
+// Every type has a software implementation on every software PE; hardware
+// implementations exist with probability HWImplProb per hardware PE.
+// Hardware runs 5-100x faster at 1-10% of the software energy.
+func draftPools(rng *rand.Rand, p Params, taskCounts []int, sw, hw []string) (shared []draftType, home [][]draftType) {
+	counter := 0
+	mkType := func(prefix string) draftType {
+		dt := draftType{name: fmt.Sprintf("%s%d", prefix, counter)}
+		counter++
+		baseTime := (5 + 45*rng.Float64()) * 1e-3  // 5-50 ms
+		basePower := (5 + 20*rng.Float64()) * 1e-3 // 5-25 mW
+		dt.swTime = baseTime
+		for _, pe := range sw {
+			dt.impls = append(dt.impls, draftImpl{
+				pe:    pe,
+				time:  baseTime * (0.8 + 0.4*rng.Float64()),
+				power: basePower * (0.8 + 0.4*rng.Float64()),
+			})
+		}
+		for _, pe := range hw {
+			if rng.Float64() >= p.HWImplProb {
+				continue
+			}
+			speedup := 5 + 95*rng.Float64() // 5-100x
+			dt.impls = append(dt.impls, draftImpl{
+				pe:    pe,
+				time:  baseTime / speedup,
+				power: basePower * (0.01 + 0.09*rng.Float64()) * speedup,
+				area:  100 + rng.Intn(300),
+			})
+		}
+		return dt
+	}
+
+	totalTasks := 0
+	for _, c := range taskCounts {
+		totalTasks += c
+	}
+	nShared := int(math.Max(2, math.Round(float64(totalTasks)*p.TypeReuse*p.SharedFrac/float64(len(taskCounts)))))
+	for i := 0; i < nShared; i++ {
+		shared = append(shared, mkType("shr"))
+	}
+	home = make([][]draftType, len(taskCounts))
+	for m, c := range taskCounts {
+		n := int(math.Max(1, math.Round(float64(c)*p.TypeReuse)))
+		for i := 0; i < n; i++ {
+			home[m] = append(home[m], mkType(fmt.Sprintf("m%dt", m)))
+		}
+	}
+	return shared, home
+}
+
+// genProbs draws skewed execution probabilities: weights exp(skew*U(0,3))
+// normalised, then sorted descending so mode0 dominates, matching the
+// usage-profile shape of the paper's examples.
+func genProbs(rng *rand.Rand, n int, skew float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = math.Exp(skew * 3 * rng.Float64())
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && w[j] > w[j-1]; j-- {
+			w[j], w[j-1] = w[j-1], w[j]
+		}
+	}
+	// Round to 4 decimals but preserve the sum of exactly one.
+	rem := 1.0
+	for i := 0; i < n-1; i++ {
+		w[i] = math.Round(w[i]*1e4) / 1e4
+		rem -= w[i]
+	}
+	w[n-1] = rem
+	return w
+}
+
+// genMode emits one mode: a layered random DAG whose tasks draw SharedFrac
+// of their types from the shared pool and the rest from the mode's private
+// pool, plus a period derived from the all-software serial time and the
+// laxity factor.
+func genMode(b *model.Builder, rng *rand.Rand, p Params, name string, idx int, prob float64, nTasks int, shared, home []draftType) {
+	types := make([]string, nTasks)
+	serial := 0.0
+	for i := range types {
+		var dt draftType
+		if rng.Float64() < p.SharedFrac || len(home) == 0 {
+			dt = shared[rng.Intn(len(shared))]
+		} else {
+			dt = home[rng.Intn(len(home))]
+		}
+		types[i] = dt.name
+		serial += dt.swTime
+	}
+	period := serial * p.Laxity
+	b.BeginMode(name, prob, period)
+
+	depth := int(math.Max(2, math.Round(math.Sqrt(float64(nTasks)))))
+	layers := make([][]int, depth)
+	for i := 0; i < nTasks; i++ {
+		l := 0
+		if i > 0 {
+			l = rng.Intn(depth)
+		}
+		layers[l] = append(layers[l], i)
+	}
+	var packed [][]int
+	for _, l := range layers {
+		if len(l) > 0 {
+			packed = append(packed, l)
+		}
+	}
+	layers = packed
+
+	taskName := func(i int) string { return fmt.Sprintf("m%dt%d", idx, i) }
+	for i := 0; i < nTasks; i++ {
+		b.AddTask(taskName(i), types[i], 0)
+	}
+	for li := 1; li < len(layers); li++ {
+		for _, t := range layers[li] {
+			nPred := 1 + rng.Intn(3)
+			seen := map[int]bool{}
+			for k := 0; k < nPred; k++ {
+				pl := li - 1
+				if li > 1 && rng.Float64() < 0.25 {
+					pl = rng.Intn(li)
+				}
+				cand := layers[pl][rng.Intn(len(layers[pl]))]
+				if seen[cand] {
+					continue
+				}
+				seen[cand] = true
+				bytes := float64(100 + rng.Intn(3900))
+				b.AddEdge(taskName(cand), taskName(t), bytes)
+			}
+		}
+	}
+}
+
+// genTransitions wires the top-level FSM: a ring over all modes (so the
+// OMSM is cyclic and every mode is reachable) plus random chords, each with
+// a transition-time limit of 10-60 ms.
+func genTransitions(b *model.Builder, rng *rand.Rand, modes []string) {
+	n := len(modes)
+	limit := func() float64 { return (10 + 50*rng.Float64()) * 1e-3 }
+	for i := 0; i < n; i++ {
+		b.AddTransition(modes[i], modes[(i+1)%n], limit())
+	}
+	extra := rng.Intn(n)
+	for k := 0; k < extra; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			b.AddTransition(modes[i], modes[j], limit())
+		}
+	}
+}

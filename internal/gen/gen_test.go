@@ -1,0 +1,236 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"momosyn/internal/model"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := NewParams(seed)
+		sys, err := Generate(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("seed %d: validate: %v", seed, err)
+		}
+	}
+}
+
+func TestGenerateEnvelope(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := NewParams(seed)
+		sys, err := Generate(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n := len(sys.App.Modes); n < 3 || n > 5 {
+			t.Errorf("seed %d: %d modes outside [3,5]", seed, n)
+		}
+		for _, m := range sys.App.Modes {
+			if n := len(m.Graph.Tasks); n < 8 || n > 32 {
+				t.Errorf("seed %d mode %s: %d tasks outside [8,32]", seed, m.Name, n)
+			}
+		}
+		if n := len(sys.Arch.PEs); n < 2 || n > 4 {
+			t.Errorf("seed %d: %d PEs outside [2,4]", seed, n)
+		}
+		if n := len(sys.Arch.CLs); n < 1 || n > 3 {
+			t.Errorf("seed %d: %d CLs outside [1,3]", seed, n)
+		}
+		hasHW := false
+		for _, pe := range sys.Arch.PEs {
+			if pe.Class.IsHardware() {
+				hasHW = true
+			}
+		}
+		if !hasHW {
+			t.Errorf("seed %d: no hardware PE", seed)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(NewParams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(NewParams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.App.Modes) != len(b.App.Modes) {
+		t.Fatalf("mode counts differ: %d vs %d", len(a.App.Modes), len(b.App.Modes))
+	}
+	for i := range a.App.Modes {
+		ma, mb := a.App.Modes[i], b.App.Modes[i]
+		if ma.Prob != mb.Prob || ma.Period != mb.Period {
+			t.Errorf("mode %d: prob/period differ", i)
+		}
+		if len(ma.Graph.Tasks) != len(mb.Graph.Tasks) || len(ma.Graph.Edges) != len(mb.Graph.Edges) {
+			t.Errorf("mode %d: graph shape differs", i)
+		}
+	}
+	for i := range a.Lib.Types {
+		for j, im := range a.Lib.Types[i].Impls {
+			if im != b.Lib.Types[i].Impls[j] {
+				t.Fatalf("type %d impl %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateProbabilitiesSkewedAndNormalised(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sys, err := Generate(NewParams(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		maxP := 0.0
+		for _, m := range sys.App.Modes {
+			sum += m.Prob
+			if m.Prob > maxP {
+				maxP = m.Prob
+			}
+		}
+		if sum < 0.999999 || sum > 1.000001 {
+			t.Errorf("seed %d: probabilities sum to %g", seed, sum)
+		}
+		uniform := 1 / float64(len(sys.App.Modes))
+		if maxP < uniform {
+			t.Errorf("seed %d: max probability %g below uniform %g", seed, maxP, uniform)
+		}
+		if sys.App.Modes[0].Prob != maxP {
+			t.Errorf("seed %d: mode0 should carry the dominant probability", seed)
+		}
+	}
+}
+
+func TestGenerateTypeSharingAcrossModes(t *testing.T) {
+	shared := 0
+	for seed := int64(1); seed <= 10; seed++ {
+		sys, err := Generate(NewParams(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		usedIn := make(map[model.TaskTypeID]map[int]bool)
+		for mi, m := range sys.App.Modes {
+			for _, task := range m.Graph.Tasks {
+				if usedIn[task.Type] == nil {
+					usedIn[task.Type] = make(map[int]bool)
+				}
+				usedIn[task.Type][mi] = true
+			}
+		}
+		for _, modes := range usedIn {
+			if len(modes) > 1 {
+				shared++
+			}
+		}
+	}
+	if shared == 0 {
+		t.Error("expected some task types to be shared across modes")
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	if _, err := Generate(Params{Seed: 1}); err == nil {
+		t.Error("zero params must be rejected")
+	}
+	p := NewParams(1)
+	p.MinTasks, p.MaxTasks = 5, 2
+	if _, err := Generate(p); err == nil {
+		t.Error("inverted task bounds must be rejected")
+	}
+}
+
+func TestGenerateAreaScarcity(t *testing.T) {
+	// Hardware areas are sized to AreaFrac of the total implementable core
+	// demand, so the synthesis must choose which types get silicon.
+	for seed := int64(1); seed <= 10; seed++ {
+		p := NewParams(seed)
+		sys, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pe := range sys.Arch.PEs {
+			if !pe.Class.IsHardware() {
+				continue
+			}
+			demand := 0
+			for _, tt := range sys.Lib.Types {
+				if im, ok := tt.ImplOn(pe.ID); ok {
+					demand += im.Area
+				}
+			}
+			if demand == 0 {
+				continue
+			}
+			frac := float64(pe.Area) / float64(demand)
+			if frac < p.AreaFrac-0.02 || frac > p.AreaFrac+0.02 {
+				t.Errorf("seed %d PE %s: area fraction %.2f, want ~%.2f",
+					seed, pe.Name, frac, p.AreaFrac)
+			}
+		}
+	}
+}
+
+func TestGenerateSharedAndPrivatePools(t *testing.T) {
+	sys, err := Generate(NewParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared-pool types carry the "shr" prefix; private-pool types carry
+	// their mode's prefix. Private types must not appear outside their
+	// home mode.
+	for mi, m := range sys.App.Modes {
+		for _, task := range m.Graph.Tasks {
+			name := sys.Lib.Type(task.Type).Name
+			if len(name) > 3 && name[0] == 'm' {
+				var home int
+				if _, err := fmt.Sscanf(name, "m%dt", &home); err == nil && home != mi {
+					t.Errorf("private type %s of mode %d used in mode %d", name, home, mi)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateHardwareSpeedupEnvelope(t *testing.T) {
+	sys, err := Generate(NewParams(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range sys.Lib.Types {
+		var sw, hw *model.Impl
+		for i := range tt.Impls {
+			im := &tt.Impls[i]
+			if sys.Arch.PE(im.PE).Class.IsHardware() {
+				if hw == nil {
+					hw = im
+				}
+			} else if sw == nil {
+				sw = im
+			}
+		}
+		if sw == nil {
+			t.Fatalf("type %s has no software implementation", tt.Name)
+		}
+		if hw == nil {
+			continue
+		}
+		speedup := sw.Time / hw.Time
+		// SW impl times jitter +-20% around the base, so the effective
+		// envelope is 5-100x with slack.
+		if speedup < 3 || speedup > 130 {
+			t.Errorf("type %s: speedup %.1f outside envelope", tt.Name, speedup)
+		}
+		if hw.Power*hw.Time >= sw.Power*sw.Time {
+			t.Errorf("type %s: hardware energy not lower", tt.Name)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package model
+
+import "fmt"
+
+// Builder assembles a System incrementally with automatic ID assignment and
+// name-based cross referencing. It is the programmatic counterpart of the
+// specio text format and is used by examples, benchmarks and the random
+// generator.
+type Builder struct {
+	sys     *System
+	types   map[string]TaskTypeID
+	pes     map[string]PEID
+	cls     map[string]CLID
+	modes   map[string]ModeID
+	curMode *modeDraft
+	drafts  []*modeDraft
+	errs    []error
+}
+
+type modeDraft struct {
+	mode  *Mode
+	tasks map[string]TaskID
+	nodes []*Task
+	edges []*Edge
+}
+
+// NewBuilder returns an empty builder for a system with the given
+// application name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		sys: &System{
+			App:  &OMSM{Name: name},
+			Arch: &Arch{},
+			Lib:  &Library{},
+		},
+		types: make(map[string]TaskTypeID),
+		pes:   make(map[string]PEID),
+		cls:   make(map[string]CLID),
+		modes: make(map[string]ModeID),
+	}
+}
+
+func (b *Builder) errf(format string, args ...interface{}) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// AddPE appends a processing element. The PE's ID is assigned by the
+// builder; any ID already present in pe is overwritten.
+func (b *Builder) AddPE(pe PE) PEID {
+	if _, dup := b.pes[pe.Name]; dup {
+		b.errf("builder: duplicate PE name %q", pe.Name)
+	}
+	id := PEID(len(b.sys.Arch.PEs))
+	pe.ID = id
+	b.sys.Arch.PEs = append(b.sys.Arch.PEs, &pe)
+	b.pes[pe.Name] = id
+	return id
+}
+
+// AddCL appends a communication link attaching the named PEs.
+func (b *Builder) AddCL(cl CL, peNames ...string) CLID {
+	if _, dup := b.cls[cl.Name]; dup {
+		b.errf("builder: duplicate CL name %q", cl.Name)
+	}
+	id := CLID(len(b.sys.Arch.CLs))
+	cl.ID = id
+	for _, n := range peNames {
+		pid, ok := b.pes[n]
+		if !ok {
+			b.errf("builder: CL %q attaches unknown PE %q", cl.Name, n)
+			continue
+		}
+		cl.PEs = append(cl.PEs, pid)
+	}
+	b.sys.Arch.CLs = append(b.sys.Arch.CLs, &cl)
+	b.cls[cl.Name] = id
+	return id
+}
+
+// PEByName returns the ID of the named PE; it records an error and returns
+// NoPE when absent.
+func (b *Builder) PEByName(name string) PEID {
+	id, ok := b.pes[name]
+	if !ok {
+		b.errf("builder: unknown PE %q", name)
+		return NoPE
+	}
+	return id
+}
+
+// AddType declares a task type with its implementation alternatives given
+// as (peName, impl) pairs via ImplSpec.
+func (b *Builder) AddType(name string, impls ...ImplSpec) TaskTypeID {
+	if _, dup := b.types[name]; dup {
+		b.errf("builder: duplicate task type %q", name)
+	}
+	id := TaskTypeID(len(b.sys.Lib.Types))
+	tt := &TaskType{ID: id, Name: name}
+	for _, is := range impls {
+		pid, ok := b.pes[is.PE]
+		if !ok {
+			b.errf("builder: type %q implementation on unknown PE %q", name, is.PE)
+			continue
+		}
+		tt.Impls = append(tt.Impls, Impl{PE: pid, Time: is.Time, Power: is.Power, Area: is.Area})
+	}
+	b.sys.Lib.Types = append(b.sys.Lib.Types, tt)
+	b.types[name] = id
+	return id
+}
+
+// ImplSpec names an implementation alternative for Builder.AddType.
+type ImplSpec struct {
+	PE    string
+	Time  float64
+	Power float64
+	Area  int
+}
+
+// BeginMode starts a new operational mode; subsequent AddTask/AddEdge calls
+// populate it until the next BeginMode or Finish.
+func (b *Builder) BeginMode(name string, prob, period float64) ModeID {
+	if _, dup := b.modes[name]; dup {
+		b.errf("builder: duplicate mode name %q", name)
+	}
+	id := ModeID(len(b.drafts))
+	d := &modeDraft{
+		mode:  &Mode{ID: id, Name: name, Prob: prob, Period: period},
+		tasks: make(map[string]TaskID),
+	}
+	b.drafts = append(b.drafts, d)
+	b.modes[name] = id
+	b.curMode = d
+	return id
+}
+
+// AddTask appends a task of the named type to the current mode. A deadline
+// of zero means only the mode period constrains the task.
+func (b *Builder) AddTask(name, typeName string, deadline float64) TaskID {
+	if b.curMode == nil {
+		b.errf("builder: AddTask %q before BeginMode", name)
+		return -1
+	}
+	if _, dup := b.curMode.tasks[name]; dup {
+		b.errf("builder: duplicate task %q in mode %q", name, b.curMode.mode.Name)
+	}
+	tt, ok := b.types[typeName]
+	if !ok {
+		b.errf("builder: task %q uses unknown type %q", name, typeName)
+		return -1
+	}
+	id := TaskID(len(b.curMode.nodes))
+	b.curMode.nodes = append(b.curMode.nodes, &Task{ID: id, Name: name, Type: tt, Deadline: deadline})
+	b.curMode.tasks[name] = id
+	return id
+}
+
+// AddEdge appends a data dependency between two named tasks of the current
+// mode.
+func (b *Builder) AddEdge(src, dst string, bytes float64) EdgeID {
+	if b.curMode == nil {
+		b.errf("builder: AddEdge %q->%q before BeginMode", src, dst)
+		return -1
+	}
+	s, okS := b.curMode.tasks[src]
+	d, okD := b.curMode.tasks[dst]
+	if !okS || !okD {
+		b.errf("builder: edge %q->%q references unknown task in mode %q", src, dst, b.curMode.mode.Name)
+		return -1
+	}
+	id := EdgeID(len(b.curMode.edges))
+	b.curMode.edges = append(b.curMode.edges, &Edge{ID: id, Src: s, Dst: d, Bytes: bytes})
+	return id
+}
+
+// AddTransition declares a mode transition by mode names.
+func (b *Builder) AddTransition(from, to string, maxTime float64) {
+	f, okF := b.modes[from]
+	t, okT := b.modes[to]
+	if !okF || !okT {
+		b.errf("builder: transition %q->%q references unknown mode", from, to)
+		return
+	}
+	b.sys.App.Transitions = append(b.sys.App.Transitions, Transition{From: f, To: t, MaxTime: maxTime})
+}
+
+// Finish assembles and validates the system. The builder must not be used
+// afterwards.
+func (b *Builder) Finish() (*System, error) {
+	for _, d := range b.drafts {
+		d.mode.Graph = NewTaskGraph(d.nodes, d.edges)
+		b.sys.App.Modes = append(b.sys.App.Modes, d.mode)
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if err := b.sys.Validate(); err != nil {
+		return nil, err
+	}
+	return b.sys, nil
+}

@@ -1,0 +1,101 @@
+package model
+
+import "fmt"
+
+// Mapping is a multi-mode task mapping Mτ: for every operational mode and
+// every task of that mode, the processing element the task executes on.
+// Indexed as Mapping[mode][task]. It is the genome phenotype of the outer
+// genetic optimisation loop ("multi-mode mapping string", paper Fig. 2).
+type Mapping [][]PEID
+
+// NewMapping allocates an unassigned mapping (all NoPE) shaped like the
+// application's modes.
+func NewMapping(app *OMSM) Mapping {
+	m := make(Mapping, len(app.Modes))
+	for i, mode := range app.Modes {
+		row := make([]PEID, len(mode.Graph.Tasks))
+		for j := range row {
+			row[j] = NoPE
+		}
+		m[i] = row
+	}
+	return m
+}
+
+// Clone returns a deep copy of the mapping.
+func (m Mapping) Clone() Mapping {
+	out := make(Mapping, len(m))
+	for i, row := range m {
+		out[i] = append([]PEID(nil), row...)
+	}
+	return out
+}
+
+// Equal reports whether two mappings assign every task identically.
+func (m Mapping) Equal(o Mapping) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if len(m[i]) != len(o[i]) {
+			return false
+		}
+		for j := range m[i] {
+			if m[i][j] != o[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PE returns the PE the task of the mode is mapped to.
+func (m Mapping) PE(mode ModeID, task TaskID) PEID { return m[mode][task] }
+
+// Validate checks that every task is mapped to a PE that has an
+// implementation for the task's type.
+func (m Mapping) Validate(s *System) error {
+	if len(m) != len(s.App.Modes) {
+		return fmt.Errorf("model: mapping covers %d modes, app has %d", len(m), len(s.App.Modes))
+	}
+	for mi, mode := range s.App.Modes {
+		if len(m[mi]) != len(mode.Graph.Tasks) {
+			return fmt.Errorf("model: mapping mode %q covers %d tasks, graph has %d",
+				mode.Name, len(m[mi]), len(mode.Graph.Tasks))
+		}
+		for ti, task := range mode.Graph.Tasks {
+			pe := m[mi][ti]
+			if s.Arch.PE(pe) == nil {
+				return fmt.Errorf("model: mode %q task %q mapped to unknown PE %d", mode.Name, task.Name, pe)
+			}
+			if _, ok := s.Lib.Type(task.Type).ImplOn(pe); !ok {
+				return fmt.Errorf("model: mode %q task %q type %q has no impl on PE %q",
+					mode.Name, task.Name, s.Lib.Type(task.Type).Name, s.Arch.PE(pe).Name)
+			}
+		}
+	}
+	return nil
+}
+
+// TasksOn returns the IDs of the mode's tasks mapped to the given PE, in
+// task order.
+func (m Mapping) TasksOn(app *OMSM, mode ModeID, pe PEID) []TaskID {
+	var out []TaskID
+	for ti := range app.Modes[mode].Graph.Tasks {
+		if m[mode][ti] == pe {
+			out = append(out, TaskID(ti))
+		}
+	}
+	return out
+}
+
+// UsesPE reports whether any task of the mode is mapped to the PE. A PE that
+// is unused in a mode can be shut down during that mode.
+func (m Mapping) UsesPE(mode ModeID, pe PEID) bool {
+	for _, p := range m[mode] {
+		if p == pe {
+			return true
+		}
+	}
+	return false
+}

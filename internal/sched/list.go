@@ -1,0 +1,317 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"momosyn/internal/energy"
+	"momosyn/internal/model"
+)
+
+// CoreProvider exposes the hardware core allocation of the outer synthesis
+// loop to the scheduler: how many core instances of a task type exist on a
+// hardware PE while a given mode is active. Software PEs are not queried.
+type CoreProvider interface {
+	Instances(mode model.ModeID, pe model.PEID, tt model.TaskTypeID) int
+}
+
+// SingleCores is the trivial core provider granting exactly one instance
+// per (PE, type); useful for tests and for architectures without replica
+// cores.
+type SingleCores struct{}
+
+// Instances implements CoreProvider.
+func (SingleCores) Instances(model.ModeID, model.PEID, model.TaskTypeID) int { return 1 }
+
+// TaskSlot is the scheduled execution of one task.
+type TaskSlot struct {
+	Task model.TaskID
+	PE   model.PEID
+	// Core is the core-instance index among the instances of the task's
+	// type on the PE; -1 for software PEs.
+	Core int
+	// Start and Finish are the scheduled execution interval. DVS voltage
+	// selection may later stretch the interval.
+	Start, Finish float64
+	// NomTime and Power are the nominal (Vmax) execution time and dynamic
+	// power from the technology library.
+	NomTime float64
+	Power   float64
+	// VoltIdx indexes the PE's voltage levels; it equals the top level
+	// until voltage scaling lowers it, and -1 on non-DVS PEs.
+	VoltIdx int
+	// Energy is the dynamic energy of this execution under the current
+	// voltage selection.
+	Energy float64
+}
+
+// CommSlot is the scheduled transfer of one task-graph edge.
+type CommSlot struct {
+	Edge model.EdgeID
+	// CL is the link carrying the message; NoCL for intra-PE edges and for
+	// unroutable edges.
+	CL            model.CLID
+	Start, Finish float64
+	Time          float64
+	Power         float64
+	Energy        float64
+	// Routed is false when the two endpoint PEs share no link; such
+	// schedules are infeasible and carry a surrogate delay.
+	Routed bool
+}
+
+// Schedule is the complete inner-loop result for one mode: communication
+// mapping Mγ plus start times Sε for all activities.
+type Schedule struct {
+	Mode     model.ModeID
+	Tasks    []TaskSlot // indexed by TaskID
+	Comms    []CommSlot // indexed by EdgeID
+	Makespan float64
+	// Unroutable counts edges between unconnected PEs.
+	Unroutable int
+}
+
+// Lateness returns the summed deadline violation over all tasks of the
+// schedule: sum over tasks of max(0, finish - min(deadline, period)).
+func (sc *Schedule) Lateness(s *model.System) float64 {
+	mode := s.App.Mode(sc.Mode)
+	late := 0.0
+	for ti := range sc.Tasks {
+		d := mode.Graph.Task(model.TaskID(ti)).EffectiveDeadline(mode.Period)
+		if v := sc.Tasks[ti].Finish - d; v > 0 {
+			late += v
+		}
+	}
+	return late
+}
+
+// Feasible reports whether the schedule routes all communications and meets
+// all deadlines.
+func (sc *Schedule) Feasible(s *model.System) bool {
+	return sc.Unroutable == 0 && sc.Lateness(s) <= 1e-9
+}
+
+// DynamicEnergy sums the dynamic energy of all activities under the current
+// voltage selection.
+func (sc *Schedule) DynamicEnergy() float64 {
+	e := 0.0
+	for i := range sc.Tasks {
+		e += sc.Tasks[i].Energy
+	}
+	for i := range sc.Comms {
+		e += sc.Comms[i].Energy
+	}
+	return e
+}
+
+// UsedCLs returns per-CL activity flags: true when at least one message is
+// carried by the link during the mode. CLs idle in a mode can be shut down.
+func (sc *Schedule) UsedCLs(arch *model.Arch) []bool {
+	used := make([]bool, len(arch.CLs))
+	for i := range sc.Comms {
+		if sc.Comms[i].Routed && sc.Comms[i].CL != model.NoCL && sc.Comms[i].Time > 0 {
+			used[sc.Comms[i].CL] = true
+		}
+	}
+	return used
+}
+
+// resourceState tracks the next-free time of every sequential resource.
+type resourceState struct {
+	peFree   []float64             // software PEs
+	coreFree map[coreKey][]float64 // hardware core instances
+	clFree   []float64             // communication links
+}
+
+type coreKey struct {
+	pe model.PEID
+	tt model.TaskTypeID
+}
+
+// ListSchedule constructs the schedule of one mode under the given mapping
+// using mobility-driven list scheduling. Tasks are prioritised by latest
+// start time (ALAP), ties broken by mobility then task ID. Communications
+// are mapped greedily to the connecting link giving the earliest arrival.
+func ListSchedule(s *model.System, modeID model.ModeID, mapping model.Mapping, cores CoreProvider, mob *Mobility) (*Schedule, error) {
+	mode := s.App.Mode(modeID)
+	g := mode.Graph
+	if mob == nil {
+		var err error
+		mob, err = ComputeMobility(s, modeID, mapping)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := len(g.Tasks)
+	sc := &Schedule{
+		Mode:  modeID,
+		Tasks: make([]TaskSlot, n),
+		Comms: make([]CommSlot, len(g.Edges)),
+	}
+	rs := &resourceState{
+		peFree:   make([]float64, len(s.Arch.PEs)),
+		coreFree: make(map[coreKey][]float64),
+		clFree:   make([]float64, len(s.Arch.CLs)),
+	}
+
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		indeg[e.Dst]++
+	}
+	scheduled := make([]bool, n)
+	ready := make([]model.TaskID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, model.TaskID(i))
+		}
+	}
+	for done := 0; done < n; done++ {
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("sched: mode %q: dependency cycle", mode.Name)
+		}
+		sort.Slice(ready, func(i, j int) bool {
+			a, b := ready[i], ready[j]
+			if mob.ALAP[a] != mob.ALAP[b] {
+				return mob.ALAP[a] < mob.ALAP[b]
+			}
+			if sa, sb := mob.Slack(a), mob.Slack(b); sa != sb {
+				return sa < sb
+			}
+			return a < b
+		})
+		t := ready[0]
+		ready = ready[1:]
+		scheduleTask(s, mode, mapping[modeID], cores, rs, sc, t)
+		scheduled[t] = true
+		for _, eid := range g.Out(t) {
+			d := g.Edge(eid).Dst
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	return sc, nil
+}
+
+// scheduleTask places one task (and its incoming communications) onto the
+// architecture. All predecessors are already scheduled.
+func scheduleTask(s *model.System, mode *model.Mode, mapRow []model.PEID, cores CoreProvider, rs *resourceState, sc *Schedule, t model.TaskID) {
+	g := mode.Graph
+	task := g.Task(t)
+	pe := s.Arch.PE(mapRow[t])
+	dataReady := 0.0
+	for _, eid := range g.In(t) {
+		e := g.Edge(eid)
+		arr := scheduleComm(s, mode, mapRow, rs, sc, e)
+		if arr > dataReady {
+			dataReady = arr
+		}
+	}
+	im, okImpl := s.Lib.Type(task.Type).ImplOn(pe.ID)
+	exec := im.Time
+	power := im.Power
+	if !okImpl {
+		exec = unroutablePenalty(mode.Period)
+		power = 0
+	}
+
+	var start float64
+	core := -1
+	if pe.Class.IsHardware() {
+		key := coreKey{pe.ID, task.Type}
+		inst := rs.coreFree[key]
+		if inst == nil {
+			cnt := cores.Instances(mode.ID, pe.ID, task.Type)
+			if cnt < 1 {
+				cnt = 1
+			}
+			inst = make([]float64, cnt)
+			rs.coreFree[key] = inst
+		}
+		core = 0
+		for i := 1; i < len(inst); i++ {
+			if inst[i] < inst[core] {
+				core = i
+			}
+		}
+		start = math.Max(dataReady, inst[core])
+		inst[core] = start + exec
+	} else {
+		start = math.Max(dataReady, rs.peFree[pe.ID])
+		rs.peFree[pe.ID] = start + exec
+	}
+	volt := -1
+	if pe.DVS {
+		volt = len(pe.Levels) - 1
+	}
+	sc.Tasks[t] = TaskSlot{
+		Task:    t,
+		PE:      pe.ID,
+		Core:    core,
+		Start:   start,
+		Finish:  start + exec,
+		NomTime: exec,
+		Power:   power,
+		VoltIdx: volt,
+		Energy:  power * exec,
+	}
+	if f := start + exec; f > sc.Makespan {
+		sc.Makespan = f
+	}
+}
+
+// scheduleComm places the message of edge e and returns its arrival time at
+// the destination PE.
+func scheduleComm(s *model.System, mode *model.Mode, mapRow []model.PEID, rs *resourceState, sc *Schedule, e *model.Edge) float64 {
+	srcSlot := &sc.Tasks[e.Src]
+	srcPE, dstPE := mapRow[e.Src], mapRow[e.Dst]
+	slot := CommSlot{Edge: e.ID, CL: model.NoCL, Routed: true}
+	if srcPE == dstPE {
+		// Intra-PE communication: instantaneous and free.
+		slot.Start = srcSlot.Finish
+		slot.Finish = srcSlot.Finish
+		sc.Comms[e.ID] = slot
+		return slot.Finish
+	}
+	links := s.Arch.LinksBetween(srcPE, dstPE)
+	if len(links) == 0 {
+		slot.Routed = false
+		slot.Start = srcSlot.Finish
+		slot.Time = unroutablePenalty(mode.Period)
+		slot.Finish = slot.Start + slot.Time
+		sc.Comms[e.ID] = slot
+		sc.Unroutable++
+		if slot.Finish > sc.Makespan {
+			sc.Makespan = slot.Finish
+		}
+		return slot.Finish
+	}
+	// Greedy communication mapping: the connecting CL with the earliest
+	// arrival wins; ties go to the lower CL ID for determinism.
+	bestCL := model.NoCL
+	bestStart, bestFinish := 0.0, math.Inf(1)
+	var bestTime float64
+	for _, cid := range links {
+		cl := s.Arch.CL(cid)
+		ct := energy.CommTime(e.Bytes, cl)
+		st := math.Max(srcSlot.Finish, rs.clFree[cid])
+		if f := st + ct; f < bestFinish {
+			bestCL, bestStart, bestFinish, bestTime = cid, st, f, ct
+		}
+	}
+	cl := s.Arch.CL(bestCL)
+	rs.clFree[bestCL] = bestFinish
+	slot.CL = bestCL
+	slot.Start = bestStart
+	slot.Finish = bestFinish
+	slot.Time = bestTime
+	slot.Power = cl.PowerActive
+	slot.Energy = energy.CommEnergy(cl.PowerActive, bestTime)
+	sc.Comms[e.ID] = slot
+	if bestFinish > sc.Makespan {
+		sc.Makespan = bestFinish
+	}
+	return bestFinish
+}

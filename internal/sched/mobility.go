@@ -1,0 +1,159 @@
+// Package sched implements the inner optimisation loop of the multi-mode
+// co-synthesis: per-mode ASAP/ALAP mobility analysis, mobility-driven list
+// scheduling of tasks onto software processors and hardware core instances,
+// and greedy communication mapping onto communication links.
+package sched
+
+import (
+	"math"
+
+	"momosyn/internal/energy"
+	"momosyn/internal/model"
+)
+
+// Mobility holds the ASAP/ALAP analysis of one mode under a fixed task
+// mapping. Times ignore resource contention (infinite-resource bounds) but
+// include inter-PE communication delays, so they are valid lower/upper
+// bounds for the list scheduler's priorities.
+type Mobility struct {
+	ASAP []float64 // earliest start per task
+	ALAP []float64 // latest start per task (w.r.t. the mode period)
+	Exec []float64 // nominal execution time per task under the mapping
+}
+
+// Slack returns ALAP-ASAP of the task; small values identify urgent tasks.
+func (m *Mobility) Slack(t model.TaskID) float64 { return m.ALAP[t] - m.ASAP[t] }
+
+// commBound returns the infinite-resource communication delay of an edge:
+// zero when both endpoints share a PE, otherwise the fastest connecting
+// link's transfer time. Unroutable edges get a large finite delay so the
+// analysis stays total; the scheduler reports them as infeasible.
+func commBound(s *model.System, e *model.Edge, srcPE, dstPE model.PEID, period float64) float64 {
+	if srcPE == dstPE {
+		return 0
+	}
+	links := s.Arch.LinksBetween(srcPE, dstPE)
+	if len(links) == 0 {
+		return unroutablePenalty(period)
+	}
+	best := math.Inf(1)
+	for _, cid := range links {
+		t := energy.CommTime(e.Bytes, s.Arch.CL(cid))
+		if t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// unroutablePenalty is the surrogate delay charged for a communication
+// between unconnected PEs; it is large relative to the mode period so such
+// mappings score badly but remain comparable.
+func unroutablePenalty(period float64) float64 { return 10 * period }
+
+// execTime returns the nominal execution time of the task on its mapped PE.
+func execTime(s *model.System, mode *model.Mode, t model.TaskID, pe model.PEID) float64 {
+	task := mode.Graph.Task(t)
+	im, ok := s.Lib.Type(task.Type).ImplOn(pe)
+	if !ok {
+		// Invalid mappings are repaired by the synthesis layer; charge a
+		// large surrogate so evaluation stays total if one slips through.
+		return unroutablePenalty(mode.Period)
+	}
+	return im.Time
+}
+
+// ComputeMobility runs ASAP and ALAP passes for the mode under the mapping.
+// The ALAP pass anchors sink tasks at their effective deadlines
+// min(deadline, period).
+func ComputeMobility(s *model.System, modeID model.ModeID, mapping model.Mapping) (*Mobility, error) {
+	mode := s.App.Mode(modeID)
+	g := mode.Graph
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := len(g.Tasks)
+	mob := &Mobility{
+		ASAP: make([]float64, n),
+		ALAP: make([]float64, n),
+		Exec: make([]float64, n),
+	}
+	for t := range g.Tasks {
+		mob.Exec[t] = execTime(s, mode, model.TaskID(t), mapping[modeID][t])
+	}
+	// ASAP forward pass.
+	for _, t := range order {
+		start := 0.0
+		for _, eid := range g.In(t) {
+			e := g.Edge(eid)
+			c := commBound(s, e, mapping[modeID][e.Src], mapping[modeID][e.Dst], mode.Period)
+			if v := mob.ASAP[e.Src] + mob.Exec[e.Src] + c; v > start {
+				start = v
+			}
+		}
+		mob.ASAP[t] = start
+	}
+	// ALAP backward pass.
+	for t := range g.Tasks {
+		task := g.Task(model.TaskID(t))
+		mob.ALAP[t] = task.EffectiveDeadline(mode.Period) - mob.Exec[t]
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		latest := mob.ALAP[t]
+		for _, eid := range g.Out(t) {
+			e := g.Edge(eid)
+			c := commBound(s, e, mapping[modeID][e.Src], mapping[modeID][e.Dst], mode.Period)
+			if v := mob.ALAP[e.Dst] - c - mob.Exec[t]; v < latest {
+				latest = v
+			}
+		}
+		mob.ALAP[t] = latest
+	}
+	return mob, nil
+}
+
+// MaxOverlap returns, for the given tasks (with their ASAP/ALAP windows
+// extended by execution time), the maximum number of pairwise-overlapping
+// execution windows. It estimates how many tasks of one type may want to
+// run in parallel — the demand used for replica core allocation
+// (paper section 4.1, "ImplementHWcores").
+func (m *Mobility) MaxOverlap(tasks []model.TaskID) int {
+	if len(tasks) <= 1 {
+		return len(tasks)
+	}
+	type ev struct {
+		t     float64
+		delta int
+	}
+	var evs []ev
+	for _, t := range tasks {
+		start := m.ASAP[t]
+		end := m.ALAP[t] + m.Exec[t]
+		if end <= start {
+			end = start + m.Exec[t]
+		}
+		evs = append(evs, ev{start, +1}, ev{end, -1})
+	}
+	// Sort events; ends before starts at equal time so touching windows do
+	// not count as overlapping.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := evs[j-1], evs[j]
+			if b.t < a.t || (b.t == a.t && b.delta < a.delta) {
+				evs[j-1], evs[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	cur, best := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}

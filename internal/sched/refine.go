@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"math/rand"
+
+	"momosyn/internal/model"
+)
+
+// Refine improves a mode's schedule by stochastic priority perturbation,
+// the schedule-optimisation idea of the authors' LOPOCOS inner loop: the
+// list scheduler's mobility-based priorities are good but not optimal
+// under resource contention, so Refine re-runs the scheduler with
+// perturbed task priorities and keeps the best result. The cost function
+// is lexicographic: lateness first (feasibility), then makespan (slack for
+// DVS), then dynamic energy.
+//
+// The baseline schedule (unperturbed priorities) is always a candidate, so
+// Refine never returns something worse than ListSchedule.
+func Refine(s *model.System, modeID model.ModeID, mapping model.Mapping, cores CoreProvider, mob *Mobility, iterations int, rng *rand.Rand) (*Schedule, error) {
+	if mob == nil {
+		var err error
+		mob, err = ComputeMobility(s, modeID, mapping)
+		if err != nil {
+			return nil, err
+		}
+	}
+	best, err := ListSchedule(s, modeID, mapping, cores, mob)
+	if err != nil {
+		return nil, err
+	}
+	bestCost := scheduleCost(s, best)
+
+	n := len(s.App.Mode(modeID).Graph.Tasks)
+	if n < 2 || iterations <= 0 {
+		return best, nil
+	}
+	// Perturbed mobility copy reused across iterations.
+	pm := &Mobility{
+		ASAP: append([]float64(nil), mob.ASAP...),
+		ALAP: make([]float64, n),
+		Exec: mob.Exec,
+	}
+	period := s.App.Mode(modeID).Period
+	for it := 0; it < iterations; it++ {
+		// Jitter the urgency (ALAP) of every task by up to ±15% of the
+		// period; small jitters explore tie-breaks, large ones reorder
+		// contended tasks.
+		scale := 0.03 + 0.12*rng.Float64()
+		for i := 0; i < n; i++ {
+			pm.ALAP[i] = mob.ALAP[i] + (rng.Float64()*2-1)*scale*period
+		}
+		cand, err := ListSchedule(s, modeID, mapping, cores, pm)
+		if err != nil {
+			return nil, err
+		}
+		if c := scheduleCost(s, cand); c.less(bestCost) {
+			best, bestCost = cand, c
+		}
+	}
+	return best, nil
+}
+
+// cost is the lexicographic schedule quality used by Refine.
+type cost struct {
+	lateness, makespan, energy float64
+}
+
+func scheduleCost(s *model.System, sc *Schedule) cost {
+	return cost{
+		lateness: sc.Lateness(s) + 1e3*float64(sc.Unroutable),
+		makespan: sc.Makespan,
+		energy:   sc.DynamicEnergy(),
+	}
+}
+
+func (a cost) less(b cost) bool {
+	const eps = 1e-12
+	if a.lateness < b.lateness-eps {
+		return true
+	}
+	if a.lateness > b.lateness+eps {
+		return false
+	}
+	if a.makespan < b.makespan-eps {
+		return true
+	}
+	if a.makespan > b.makespan+eps {
+		return false
+	}
+	return a.energy < b.energy-eps
+}

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"momosyn/internal/gen"
+	"momosyn/internal/model"
+)
+
+// contentionSystem: six independent tasks of alternating lengths on one
+// CPU plus a tight chain, where priority order matters for lateness.
+func contentionSystem(t *testing.T) *model.System {
+	t.Helper()
+	b := model.NewBuilder("refine")
+	b.AddPE(model.PE{Name: "cpu0", Class: model.GPP, Vmax: 3.3, Vt: 0.8})
+	b.AddPE(model.PE{Name: "cpu1", Class: model.GPP, Vmax: 3.3, Vt: 0.8})
+	b.AddCL(model.CL{Name: "bus", BytesPerSec: 1e6}, "cpu0", "cpu1")
+	b.AddType("long", model.ImplSpec{PE: "cpu0", Time: 30e-3, Power: 1e-3})
+	b.AddType("short", model.ImplSpec{PE: "cpu0", Time: 5e-3, Power: 1e-3})
+	b.BeginMode("m", 1, 70e-3)
+	b.AddTask("l0", "long", 0)
+	b.AddTask("l1", "long", 0)
+	b.AddTask("s0", "short", 0)
+	b.AddTask("s1", "short", 0)
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRefineNeverWorse(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		sys, err := gen.Generate(gen.NewParams(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapping := model.NewMapping(sys.App)
+		rng := rand.New(rand.NewSource(seed))
+		for mi, mode := range sys.App.Modes {
+			for ti, task := range mode.Graph.Tasks {
+				cands := sys.CandidatePEs(task.Type)
+				mapping[mi][ti] = cands[rng.Intn(len(cands))]
+			}
+		}
+		for m := range sys.App.Modes {
+			base, err := ListSchedule(sys, model.ModeID(m), mapping, SingleCores{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Refine(sys, model.ModeID(m), mapping, SingleCores{}, nil, 20, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scheduleCost(sys, ref).less(scheduleCost(sys, base)) {
+				continue // strictly better: fine
+			}
+			// Otherwise it must be exactly as good (the baseline itself).
+			cb, cr := scheduleCost(sys, base), scheduleCost(sys, ref)
+			if cb.less(cr) {
+				t.Fatalf("seed %d mode %d: refinement degraded the schedule (%+v -> %+v)",
+					seed, m, cb, cr)
+			}
+		}
+	}
+}
+
+func TestRefineKeepsSchedulesValid(t *testing.T) {
+	sys := contentionSystem(t)
+	mapping := model.NewMapping(sys.App)
+	for ti := range mapping[0] {
+		mapping[0][ti] = 0
+	}
+	rng := rand.New(rand.NewSource(3))
+	sc, err := Refine(sys, 0, mapping, SingleCores{}, nil, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Still sequential on the single CPU.
+	for i := range sc.Tasks {
+		for j := i + 1; j < len(sc.Tasks); j++ {
+			a, b := sc.Tasks[i], sc.Tasks[j]
+			if a.Start < b.Finish-1e-12 && b.Start < a.Finish-1e-12 {
+				t.Fatalf("refined schedule overlaps tasks %d and %d", i, j)
+			}
+		}
+	}
+	// 70 ms of work in a 70 ms period: the refined schedule must be
+	// feasible regardless of ordering.
+	if !sc.Feasible(sys) {
+		t.Error("refined schedule infeasible")
+	}
+}
+
+func TestRefineZeroIterationsIsListSchedule(t *testing.T) {
+	sys := contentionSystem(t)
+	mapping := model.NewMapping(sys.App)
+	for ti := range mapping[0] {
+		mapping[0][ti] = 0
+	}
+	base, err := ListSchedule(sys, 0, mapping, SingleCores{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Refine(sys, 0, mapping, SingleCores{}, nil, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Makespan != ref.Makespan || base.DynamicEnergy() != ref.DynamicEnergy() {
+		t.Error("zero iterations must reproduce the list schedule")
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	a := cost{lateness: 0, makespan: 1, energy: 5}
+	b := cost{lateness: 0, makespan: 2, energy: 1}
+	if !a.less(b) || b.less(a) {
+		t.Error("makespan must dominate energy")
+	}
+	c := cost{lateness: 1, makespan: 0, energy: 0}
+	if !a.less(c) {
+		t.Error("lateness must dominate everything")
+	}
+	if a.less(a) {
+		t.Error("cost not irreflexive")
+	}
+}

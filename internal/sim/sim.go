@@ -1,0 +1,240 @@
+// Package sim is a discrete-event execution simulator for synthesised
+// multi-mode implementations. It plays a usage trace — a sequence of
+// operational modes with dwell times, generated from the OMSM's transition
+// structure — against an implementation's per-mode schedules, accumulating
+// dynamic and static energy hyper-period by hyper-period, including mode
+// transition overheads (FPGA reconfiguration) and component shut-down.
+//
+// The simulator grounds the paper's analytical objective: the long-run
+// average power measured over a trace whose empirical mode residencies
+// match the specified execution probabilities converges to Eq. (1)'s
+// prediction. It also measures what the analytical model abstracts away —
+// the energy cost of partially completed hyper-periods at mode switches
+// and of reconfiguration time.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"momosyn/internal/model"
+	"momosyn/internal/synth"
+)
+
+// Event is one entry of a usage trace: the system stays in Mode for Dwell
+// seconds before the next event.
+type Event struct {
+	Mode  model.ModeID
+	Dwell float64
+}
+
+// Trace is a complete usage scenario.
+type Trace []Event
+
+// Duration returns the total trace time.
+func (t Trace) Duration() float64 {
+	d := 0.0
+	for _, e := range t {
+		d += e.Dwell
+	}
+	return d
+}
+
+// Residency returns the fraction of trace time spent in each mode,
+// indexed by ModeID.
+func (t Trace) Residency(nModes int) []float64 {
+	res := make([]float64, nModes)
+	total := t.Duration()
+	if total <= 0 {
+		return res
+	}
+	for _, e := range t {
+		res[e.Mode] += e.Dwell
+	}
+	for i := range res {
+		res[i] /= total
+	}
+	return res
+}
+
+// TraceConfig controls random trace generation.
+type TraceConfig struct {
+	// Horizon is the target trace duration in seconds.
+	Horizon float64
+	// MeanDwell is the average time spent in a mode per visit. Individual
+	// dwells are drawn so that long-run residencies match the modes'
+	// execution probabilities.
+	MeanDwell float64
+	// Seed seeds the trace RNG.
+	Seed int64
+}
+
+// GenerateTrace builds a random usage trace whose mode transitions follow
+// the OMSM's edges and whose long-run residencies converge to the modes'
+// execution probabilities Ψ. Mode visits follow a random walk over the
+// transition graph; each visit's dwell time is drawn exponential-like with
+// mean proportional to Ψ(mode)/visitShare(mode), so that even an uneven
+// walk yields the specified time shares.
+func GenerateTrace(app *model.OMSM, cfg TraceConfig) (Trace, error) {
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon must be positive")
+	}
+	if cfg.MeanDwell <= 0 {
+		cfg.MeanDwell = cfg.Horizon / 100
+	}
+	succ := make(map[model.ModeID][]model.ModeID)
+	for _, tr := range app.Transitions {
+		succ[tr.From] = append(succ[tr.From], tr.To)
+	}
+	for id := range succ {
+		s := succ[id]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	if len(app.Modes) > 1 {
+		for _, m := range app.Modes {
+			if len(succ[m.ID]) == 0 {
+				return nil, fmt.Errorf("sim: mode %q has no outgoing transition", m.Name)
+			}
+		}
+	}
+
+	// Deficit-steered dwell selection: the walk visits modes according to
+	// the transition structure; each visit dwells just long enough to move
+	// the mode's realised time share toward its execution probability Ψ,
+	// so long-run residencies converge to the specified usage profile
+	// regardless of the walk's visit frequencies.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var trace Trace
+	perMode := make([]float64, len(app.Modes))
+	cur := model.ModeID(0)
+	elapsed := 0.0
+	for elapsed < cfg.Horizon {
+		m := app.Mode(cur)
+		// Dwell X solving Ψ = (spent+X)/(elapsed+X), i.e. the visit that
+		// exactly restores the mode's target share, jittered ±50% and
+		// floored at one hyper-period so every visit does real work.
+		need := 0.0
+		if m.Prob < 1 {
+			need = (m.Prob*elapsed - perMode[cur]) / (1 - m.Prob)
+		} else {
+			need = cfg.Horizon - elapsed
+		}
+		need += m.Prob * cfg.MeanDwell * float64(len(app.Modes))
+		dwell := need * (0.5 + rng.Float64())
+		if dwell < m.Period {
+			dwell = m.Period
+		}
+		trace = append(trace, Event{Mode: cur, Dwell: dwell})
+		perMode[cur] += dwell
+		elapsed += dwell
+		if len(succ[cur]) == 0 {
+			break
+		}
+		cur = succ[cur][rng.Intn(len(succ[cur]))]
+	}
+	return trace, nil
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	// Duration is the simulated time.
+	Duration float64
+	// DynamicEnergy and StaticEnergy are accumulated joules.
+	DynamicEnergy, StaticEnergy float64
+	// TransitionTime is the total time spent reconfiguring between modes;
+	// TransitionCount the number of mode switches.
+	TransitionTime  float64
+	TransitionCount int
+	// HyperPeriods counts completed task-graph iterations per mode.
+	HyperPeriods []int
+	// Residency is the per-mode time share actually realised by the trace.
+	Residency []float64
+	// DeadlineViolations counts transition-time limit violations observed.
+	DeadlineViolations int
+}
+
+// AveragePower returns total energy over total time.
+func (r *Result) AveragePower() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return (r.DynamicEnergy + r.StaticEnergy) / r.Duration
+}
+
+// Run simulates the implementation over the trace. Each dwell executes
+// ceil-free whole hyper-periods of the mode's schedule (a partial final
+// hyper-period contributes proportional dynamic energy, matching a system
+// that is stopped mid-iteration); static power accrues for the active
+// component set of the mode over the full dwell; mode switches cost the
+// allocation's reconfiguration time, during which all components of the
+// incoming mode are powered but no dynamic work happens.
+func Run(sys *model.System, impl *synth.Evaluation, trace Trace) (*Result, error) {
+	if len(impl.Schedules) != len(sys.App.Modes) {
+		return nil, fmt.Errorf("sim: implementation has %d schedules, app has %d modes",
+			len(impl.Schedules), len(sys.App.Modes))
+	}
+	res := &Result{
+		HyperPeriods: make([]int, len(sys.App.Modes)),
+	}
+	var prev model.ModeID = -1
+	for _, ev := range trace {
+		mode := sys.App.Mode(ev.Mode)
+		if mode == nil {
+			return nil, fmt.Errorf("sim: trace references unknown mode %d", ev.Mode)
+		}
+		dwell := ev.Dwell
+
+		// Mode transition overhead.
+		if prev >= 0 && prev != ev.Mode {
+			tt := impl.Alloc.TransitionTime(sys, model.Transition{From: prev, To: ev.Mode})
+			res.TransitionCount++
+			res.TransitionTime += tt
+			res.StaticEnergy += tt * staticPowerOf(sys, impl, ev.Mode)
+			if lim := transitionLimit(sys, prev, ev.Mode); lim > 0 && tt > lim {
+				res.DeadlineViolations++
+			}
+		}
+
+		sc := impl.Schedules[ev.Mode]
+		perIter := sc.DynamicEnergy()
+		iters := int(dwell / mode.Period)
+		frac := dwell/mode.Period - float64(iters)
+		res.HyperPeriods[ev.Mode] += iters
+		res.DynamicEnergy += (float64(iters) + frac) * perIter
+		res.StaticEnergy += dwell * staticPowerOf(sys, impl, ev.Mode)
+		res.Duration += dwell
+		prev = ev.Mode
+	}
+	res.Residency = trace.Residency(len(sys.App.Modes))
+	return res, nil
+}
+
+// staticPowerOf returns the static power of the components that stay
+// powered during the mode under the implementation's mapping.
+func staticPowerOf(sys *model.System, impl *synth.Evaluation, mode model.ModeID) float64 {
+	return impl.ModePowers[mode].StaticPower
+}
+
+// transitionLimit returns tTmax of the (from, to) transition, or zero when
+// the OMSM does not constrain it.
+func transitionLimit(sys *model.System, from, to model.ModeID) float64 {
+	for _, tr := range sys.App.Transitions {
+		if tr.From == from && tr.To == to {
+			return tr.MaxTime
+		}
+	}
+	return 0
+}
+
+// PredictedPower returns the analytical Eq. (1) power of the
+// implementation under the given residency vector (pass the specification
+// probabilities for the paper's objective, or a trace's realised
+// residencies for an apples-to-apples comparison with Run).
+func PredictedPower(sys *model.System, impl *synth.Evaluation, residency []float64) float64 {
+	total := 0.0
+	for m := range impl.ModePowers {
+		total += impl.ModePowers[m].Total() * residency[m]
+	}
+	return total
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"momosyn/internal/bench"
+	"momosyn/internal/ga"
+	"momosyn/internal/model"
+	"momosyn/internal/synth"
+)
+
+func synthPhone(t *testing.T) (*model.System, *synth.Evaluation) {
+	t.Helper()
+	sys, err := bench.SmartPhone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := synth.Synthesize(sys, synth.Options{
+		GA:   ga.Config{PopSize: 24, MaxGenerations: 60, Stagnation: 20},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, res.Best
+}
+
+func TestTraceResidencyAndDuration(t *testing.T) {
+	tr := Trace{{Mode: 0, Dwell: 3}, {Mode: 1, Dwell: 1}, {Mode: 0, Dwell: 1}}
+	if d := tr.Duration(); d != 5 {
+		t.Errorf("duration = %v", d)
+	}
+	res := tr.Residency(2)
+	if math.Abs(res[0]-0.8) > 1e-12 || math.Abs(res[1]-0.2) > 1e-12 {
+		t.Errorf("residency = %v", res)
+	}
+	if got := Trace(nil).Residency(2); got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty trace residency = %v", got)
+	}
+}
+
+func TestGenerateTraceFollowsTransitions(t *testing.T) {
+	sys, err := bench.SmartPhone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := GenerateTrace(sys.App, TraceConfig{Horizon: 3600, MeanDwell: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Duration() < 3600 {
+		t.Errorf("trace shorter than horizon: %v", trace.Duration())
+	}
+	// Every consecutive pair must be a declared transition.
+	allowed := make(map[[2]model.ModeID]bool)
+	for _, tr := range sys.App.Transitions {
+		allowed[[2]model.ModeID{tr.From, tr.To}] = true
+	}
+	for i := 1; i < len(trace); i++ {
+		key := [2]model.ModeID{trace[i-1].Mode, trace[i].Mode}
+		if !allowed[key] {
+			t.Fatalf("trace uses undeclared transition %v", key)
+		}
+	}
+	// Dwell at least one hyper-period per visit.
+	for _, ev := range trace {
+		if ev.Dwell < sys.App.Mode(ev.Mode).Period-1e-12 {
+			t.Fatalf("dwell %v below period of mode %d", ev.Dwell, ev.Mode)
+		}
+	}
+}
+
+func TestGenerateTraceResidencyMatchesProbabilities(t *testing.T) {
+	sys, err := bench.SmartPhone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := GenerateTrace(sys.App, TraceConfig{Horizon: 50000, MeanDwell: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := trace.Residency(len(sys.App.Modes))
+	for _, m := range sys.App.Modes {
+		got := res[m.ID]
+		// Long trace: each residency within a few points of Ψ.
+		if math.Abs(got-m.Prob) > 0.06 {
+			t.Errorf("mode %s residency %.3f, want ~%.2f", m.Name, got, m.Prob)
+		}
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	sys, err := bench.SmartPhone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := GenerateTrace(sys.App, TraceConfig{Horizon: 100, MeanDwell: 2, Seed: 3})
+	b, _ := GenerateTrace(sys.App, TraceConfig{Horizon: 100, MeanDwell: 2, Seed: 3})
+	if len(a) != len(b) {
+		t.Fatal("trace lengths differ for the same seed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestGenerateTraceErrors(t *testing.T) {
+	sys, err := bench.SmartPhone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateTrace(sys.App, TraceConfig{Horizon: 0}); err == nil {
+		t.Error("zero horizon must be rejected")
+	}
+	// A mode without outgoing transition is rejected for multi-mode apps.
+	app := &model.OMSM{Modes: []*model.Mode{
+		{ID: 0, Prob: 0.5, Period: 1},
+		{ID: 1, Prob: 0.5, Period: 1},
+	}}
+	app.Transitions = []model.Transition{{From: 0, To: 1}}
+	if _, err := GenerateTrace(app, TraceConfig{Horizon: 10}); err == nil {
+		t.Error("sink mode must be rejected")
+	}
+}
+
+func TestRunMatchesAnalyticalPrediction(t *testing.T) {
+	sys, impl := synthPhone(t)
+	trace, err := GenerateTrace(sys.App, TraceConfig{Horizon: 20000, MeanDwell: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, impl, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against Eq. (1) evaluated at the trace's realised residency:
+	// the only divergence is transition overhead, which is tiny here.
+	predicted := PredictedPower(sys, impl, res.Residency)
+	got := res.AveragePower()
+	if math.Abs(got-predicted)/predicted > 0.02 {
+		t.Errorf("simulated %.6f mW vs predicted %.6f mW (>2%% apart)", got*1e3, predicted*1e3)
+	}
+	// And against the specification probabilities it lands near the
+	// synthesis objective.
+	objective := impl.AvgPower
+	if math.Abs(got-objective)/objective > 0.15 {
+		t.Errorf("simulated %.6f mW far from objective %.6f mW", got*1e3, objective*1e3)
+	}
+	if res.TransitionCount == 0 {
+		t.Error("a long trace must switch modes")
+	}
+	if res.Duration <= 0 || res.DynamicEnergy <= 0 || res.StaticEnergy <= 0 {
+		t.Error("energy accounting must be populated")
+	}
+	for m, n := range res.HyperPeriods {
+		if res.Residency[m] > 0.01 && n == 0 {
+			t.Errorf("mode %d visited but no hyper-period completed", m)
+		}
+	}
+}
+
+func TestRunSingleModeExactEnergy(t *testing.T) {
+	// A hand trace of exactly 10 hyper-periods of one mode: energies are
+	// exactly 10x the per-period numbers.
+	sys, impl := synthPhone(t)
+	mode := sys.App.Modes[0]
+	trace := Trace{{Mode: 0, Dwell: 10 * mode.Period}}
+	res, err := Run(sys, impl, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDyn := 10 * impl.Schedules[0].DynamicEnergy()
+	if math.Abs(res.DynamicEnergy-wantDyn)/wantDyn > 1e-9 {
+		t.Errorf("dynamic = %v, want %v", res.DynamicEnergy, wantDyn)
+	}
+	wantStat := 10 * mode.Period * impl.ModePowers[0].StaticPower
+	if math.Abs(res.StaticEnergy-wantStat)/wantStat > 1e-9 {
+		t.Errorf("static = %v, want %v", res.StaticEnergy, wantStat)
+	}
+	if res.HyperPeriods[0] != 10 {
+		t.Errorf("hyper-periods = %d, want 10", res.HyperPeriods[0])
+	}
+	if res.TransitionCount != 0 {
+		t.Error("single-mode trace has no transitions")
+	}
+}
+
+func TestRunPartialHyperPeriod(t *testing.T) {
+	sys, impl := synthPhone(t)
+	mode := sys.App.Modes[0]
+	trace := Trace{{Mode: 0, Dwell: 2.5 * mode.Period}}
+	res, err := Run(sys, impl, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.5 * impl.Schedules[0].DynamicEnergy()
+	if math.Abs(res.DynamicEnergy-want)/want > 1e-9 {
+		t.Errorf("partial-period dynamic = %v, want %v", res.DynamicEnergy, want)
+	}
+	if res.HyperPeriods[0] != 2 {
+		t.Errorf("completed hyper-periods = %d, want 2", res.HyperPeriods[0])
+	}
+}
+
+func TestRunRejectsBadTrace(t *testing.T) {
+	sys, impl := synthPhone(t)
+	if _, err := Run(sys, impl, Trace{{Mode: 99, Dwell: 1}}); err == nil {
+		t.Error("unknown mode must be rejected")
+	}
+}
+
+func TestPredictedPowerMatchesEvaluation(t *testing.T) {
+	sys, impl := synthPhone(t)
+	probs := make([]float64, len(sys.App.Modes))
+	for i, m := range sys.App.Modes {
+		probs[i] = m.Prob
+	}
+	got := PredictedPower(sys, impl, probs)
+	if math.Abs(got-impl.AvgPower)/impl.AvgPower > 1e-12 {
+		t.Errorf("PredictedPower %v != evaluation %v", got, impl.AvgPower)
+	}
+}
+
+// TestRunAccountsReconfiguration exercises the transition-overhead path:
+// the SDR's FPGA swaps cores at mode changes, so a trace with switches
+// must accumulate reconfiguration time that the analytical Eq. (1) model
+// does not capture.
+func TestRunAccountsReconfiguration(t *testing.T) {
+	sys, err := bench.SDR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := synth.Synthesize(sys, synth.Options{
+		UseDVS: true,
+		GA:     ga.Config{PopSize: 32, MaxGenerations: 80, Stagnation: 30},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.Feasible() {
+		t.Fatal("SDR synthesis infeasible")
+	}
+	// The FPGA must carry cores somewhere for this test to bite.
+	usesFPGA := false
+	for m := range sys.App.Modes {
+		if res.Best.Mapping.UsesPE(model.ModeID(m), 1) {
+			usesFPGA = true
+		}
+	}
+	if !usesFPGA {
+		t.Skip("optimum avoids the FPGA entirely; nothing to reconfigure")
+	}
+	trace, err := GenerateTrace(sys.App, TraceConfig{Horizon: 2000, MeanDwell: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(sys, res.Best, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TransitionCount == 0 {
+		t.Fatal("trace must switch modes")
+	}
+	if out.TransitionTime <= 0 {
+		t.Error("FPGA mode switches must accumulate reconfiguration time")
+	}
+	if out.DeadlineViolations != 0 {
+		t.Errorf("feasible implementation violated %d transition limits in simulation",
+			out.DeadlineViolations)
+	}
+	// Reconfiguration inflates measured power slightly above the
+	// residency-weighted analytical value; the difference stays small.
+	pred := PredictedPower(sys, res.Best, out.Residency)
+	if got := out.AveragePower(); got < pred-1e-9 {
+		t.Errorf("measured %v below prediction %v despite overheads", got, pred)
+	}
+}

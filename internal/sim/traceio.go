@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"momosyn/internal/model"
+	"momosyn/internal/specio"
+)
+
+// Trace persistence: one event per line,
+//
+//	at <mode> <dwell>
+//
+// with the dwell carrying a time unit (e.g. "at rlc 2.5s"). Recorded
+// traces can be replayed against different implementations — e.g. to judge
+// a probability-neglecting and a probability-aware synthesis on the exact
+// same usage scenario.
+
+// WriteTrace emits the trace in the text format.
+func WriteTrace(w io.Writer, app *model.OMSM, trace Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# usage trace for %s: %d events, %s total\n",
+		app.Name, len(trace), specio.FormatTime(trace.Duration()))
+	for _, ev := range trace {
+		mode := app.Mode(ev.Mode)
+		if mode == nil {
+			return fmt.Errorf("sim: trace references unknown mode %d", ev.Mode)
+		}
+		fmt.Fprintf(bw, "at %s %s\n", mode.Name, specio.FormatTime(ev.Dwell))
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace against the application's mode names.
+func ReadTrace(r io.Reader, app *model.OMSM) (Trace, error) {
+	byName := make(map[string]model.ModeID, len(app.Modes))
+	for _, m := range app.Modes {
+		byName[m.Name] = m.ID
+	}
+	var trace Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] != "at" || len(fields) != 3 {
+			return nil, fmt.Errorf("sim: line %d: want 'at MODE DWELL'", line)
+		}
+		id, ok := byName[fields[1]]
+		if !ok {
+			return nil, fmt.Errorf("sim: line %d: unknown mode %q", line, fields[1])
+		}
+		dwell, err := specio.ParseTime(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("sim: line %d: %v", line, err)
+		}
+		if dwell <= 0 {
+			return nil, fmt.Errorf("sim: line %d: dwell must be positive", line)
+		}
+		trace = append(trace, Event{Mode: id, Dwell: dwell})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("sim: empty trace")
+	}
+	return trace, nil
+}

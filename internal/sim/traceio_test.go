@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"momosyn/internal/bench"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	sys, err := bench.SmartPhone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := GenerateTrace(sys.App, TraceConfig{Horizon: 300, MeanDwell: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sys.App, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()), sys.App)
+	if err != nil {
+		t.Fatalf("read back: %v\n%s", err, buf.String())
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("event counts differ: %d vs %d", len(got), len(trace))
+	}
+	for i := range got {
+		if got[i].Mode != trace[i].Mode {
+			t.Fatalf("event %d mode differs", i)
+		}
+		if math.Abs(got[i].Dwell-trace[i].Dwell) > 1e-9*trace[i].Dwell {
+			t.Fatalf("event %d dwell %v vs %v", i, got[i].Dwell, trace[i].Dwell)
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	sys, err := bench.SmartPhone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", "# nothing\n"},
+		{"bad directive", "go rlc 1s"},
+		{"wrong arity", "at rlc"},
+		{"unknown mode", "at warp 1s"},
+		{"bad time", "at rlc fast"},
+		{"zero dwell", "at rlc 0s"},
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c.in), sys.App); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestWriteTraceRejectsUnknownMode(t *testing.T) {
+	sys, err := bench.SmartPhone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&bytes.Buffer{}, sys.App, Trace{{Mode: 99, Dwell: 1}}); err == nil {
+		t.Fatal("unknown mode must be rejected")
+	}
+}
+
+// TestTraceReplayComparesImplementations replays one recorded trace
+// against both a probability-aware and a probability-neglecting
+// implementation — the apples-to-apples comparison the trace format
+// exists for.
+func TestTraceReplayComparesImplementations(t *testing.T) {
+	sys, impl := synthPhone(t)
+	trace, err := GenerateTrace(sys.App, TraceConfig{Horizon: 2000, MeanDwell: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sys.App, trace); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadTrace(bytes.NewReader(buf.Bytes()), sys.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(sys, impl, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sys, impl, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.AveragePower()-b.AveragePower())/a.AveragePower() > 1e-9 {
+		t.Errorf("replayed trace gives different power: %v vs %v",
+			a.AveragePower(), b.AveragePower())
+	}
+}

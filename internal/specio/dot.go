@@ -1,0 +1,89 @@
+package specio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"momosyn/internal/model"
+)
+
+// WriteDOT renders the system specification as a Graphviz document: the
+// top-level finite state machine over operational modes (states annotated
+// with execution probability and period, transitions with their time
+// limits), and one cluster per mode containing its task graph (tasks
+// annotated with their type).
+func WriteDOT(w io.Writer, sys *model.System) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", sys.App.Name)
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	fmt.Fprintln(bw, "  node [fontname=\"Helvetica\", fontsize=10];")
+	fmt.Fprintln(bw, "  edge [fontname=\"Helvetica\", fontsize=9];")
+
+	// Top-level FSM.
+	fmt.Fprintln(bw, "  subgraph cluster_omsm {")
+	fmt.Fprintln(bw, "    label=\"operational mode state machine\";")
+	fmt.Fprintln(bw, "    style=dashed;")
+	for _, m := range sys.App.Modes {
+		fmt.Fprintf(bw, "    %s [shape=doublecircle, label=\"%s\\nΨ=%g\\nφ=%s\"];\n",
+			dotID("mode", m.Name), dotEscape(m.Name), m.Prob, FormatTime(m.Period))
+	}
+	for _, tr := range sys.App.Transitions {
+		label := ""
+		if tr.MaxTime > 0 {
+			label = fmt.Sprintf(" [label=\"≤%s\"]", FormatTime(tr.MaxTime))
+		}
+		fmt.Fprintf(bw, "    %s -> %s%s;\n",
+			dotID("mode", sys.App.Mode(tr.From).Name),
+			dotID("mode", sys.App.Mode(tr.To).Name), label)
+	}
+	fmt.Fprintln(bw, "  }")
+
+	// Per-mode task graphs.
+	for mi, m := range sys.App.Modes {
+		fmt.Fprintf(bw, "  subgraph cluster_m%d {\n", mi)
+		fmt.Fprintf(bw, "    label=\"%s\";\n", dotEscape(m.Name))
+		for _, task := range m.Graph.Tasks {
+			tt := sys.Lib.Type(task.Type)
+			extra := ""
+			if task.Deadline > 0 {
+				extra = fmt.Sprintf("\\nθ=%s", FormatTime(task.Deadline))
+			}
+			fmt.Fprintf(bw, "    %s [shape=box, label=\"%s\\n%s%s\"];\n",
+				dotID(fmt.Sprintf("m%d", mi), task.Name), dotEscape(task.Name), dotEscape(tt.Name), extra)
+		}
+		for _, e := range m.Graph.Edges {
+			label := ""
+			if e.Bytes > 0 {
+				label = fmt.Sprintf(" [label=\"%gB\"]", e.Bytes)
+			}
+			fmt.Fprintf(bw, "    %s -> %s%s;\n",
+				dotID(fmt.Sprintf("m%d", mi), m.Graph.Task(e.Src).Name),
+				dotID(fmt.Sprintf("m%d", mi), m.Graph.Task(e.Dst).Name), label)
+		}
+		fmt.Fprintln(bw, "  }")
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// dotID builds a Graphviz-safe node identifier from a namespace and a
+// name.
+func dotID(ns, name string) string {
+	var sb strings.Builder
+	sb.WriteString(ns)
+	sb.WriteByte('_')
+	for _, r := range name {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func dotEscape(s string) string {
+	return strings.NewReplacer(`"`, `\"`, "\n", `\n`).Replace(s)
+}

@@ -1,0 +1,56 @@
+package specio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"momosyn/internal/bench"
+)
+
+func TestWriteDOTStructure(t *testing.T) {
+	sys, err := bench.SmartPhone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("not a digraph document")
+	}
+	// One doublecircle per mode.
+	if got := strings.Count(out, "doublecircle"); got != len(sys.App.Modes) {
+		t.Errorf("mode nodes = %d, want %d", got, len(sys.App.Modes))
+	}
+	// One box per task across all modes.
+	if got := strings.Count(out, "shape=box"); got != sys.App.TotalTasks() {
+		t.Errorf("task nodes = %d, want %d", got, sys.App.TotalTasks())
+	}
+	// One cluster per mode plus the FSM cluster.
+	if got := strings.Count(out, "subgraph cluster"); got != len(sys.App.Modes)+1 {
+		t.Errorf("clusters = %d, want %d", got, len(sys.App.Modes)+1)
+	}
+	// Transition limits are annotated.
+	if !strings.Contains(out, "≤") {
+		t.Error("transition time limits missing")
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestDotIDSanitises(t *testing.T) {
+	if got := dotID("m0", "t-1.a"); got != "m0_t_1_a" {
+		t.Errorf("dotID = %q", got)
+	}
+}
+
+func TestDotEscape(t *testing.T) {
+	if got := dotEscape(`a"b`); got != `a\"b` {
+		t.Errorf("dotEscape = %q", got)
+	}
+}

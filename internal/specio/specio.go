@@ -1,0 +1,524 @@
+// Package specio reads and writes multi-mode system specifications in a
+// line-oriented text format, so problem instances can be generated,
+// inspected, edited and fed to the synthesis tools as plain files.
+//
+// The format is keyword-based with one declaration per line; '#' starts a
+// comment. Quantities carry units (s/ms/us/ns, W/mW/uW, B/s, kB/s, MB/s).
+//
+//	system smartphone
+//	pe GPP class=gpp vmax=3.3 vt=0.8 static=0.12mW levels=1.2,1.8,2.5,3.3
+//	pe ASIC1 class=asic area=800 vmax=3.3 vt=0.8 static=0.25mW
+//	cl BUS bw=10MB/s active=1mW static=0.06mW pes=GPP,ASIC1
+//	type FFT
+//	impl FFT GPP time=420us power=32mW
+//	impl FFT ASIC1 time=10.5us power=51.2mW area=320
+//	mode rlc prob=0.74 period=50ms
+//	task rlc burst type=FFT deadline=25ms
+//	edge rlc burst equalize bytes=312
+//	transition rlc gsm max=25ms
+//
+// Declarations may appear in any order as long as referenced entities are
+// declared first (PEs before types and links, types before tasks, modes
+// before their tasks/edges, modes before transitions).
+package specio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"momosyn/internal/model"
+)
+
+// Read parses a specification and returns the validated system.
+func Read(r io.Reader) (*model.System, error) {
+	p := &parser{
+		types: make(map[string]*typeDecl),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := p.directive(fields); err != nil {
+			return nil, fmt.Errorf("specio: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("specio: %w", err)
+	}
+	return p.finish()
+}
+
+// parser accumulates declarations before emitting them through the model
+// builder (types need all their impls collected first).
+type parser struct {
+	name      string
+	pes       []peDecl
+	cls       []clDecl
+	typeOrder []string
+	types     map[string]*typeDecl
+	modes     []*modeDecl
+	trans     []transDecl
+}
+
+type peDecl struct{ pe model.PE }
+
+type clDecl struct {
+	cl  model.CL
+	pes []string
+}
+
+type typeDecl struct {
+	impls []model.ImplSpec
+}
+
+type modeDecl struct {
+	name         string
+	prob, period float64
+	tasks        []taskDecl
+	edges        []edgeDecl
+}
+
+type taskDecl struct {
+	name, typ string
+	deadline  float64
+}
+
+type edgeDecl struct {
+	src, dst string
+	bytes    float64
+}
+
+func (p *parser) directive(fields []string) error {
+	switch fields[0] {
+	case "system":
+		if len(fields) != 2 {
+			return fmt.Errorf("system needs exactly one name")
+		}
+		p.name = fields[1]
+		return nil
+	case "pe":
+		return p.parsePE(fields)
+	case "cl":
+		return p.parseCL(fields)
+	case "type":
+		if len(fields) != 2 {
+			return fmt.Errorf("type needs exactly one name")
+		}
+		if _, dup := p.types[fields[1]]; dup {
+			return fmt.Errorf("duplicate type %q", fields[1])
+		}
+		p.types[fields[1]] = &typeDecl{}
+		p.typeOrder = append(p.typeOrder, fields[1])
+		return nil
+	case "impl":
+		return p.parseImpl(fields)
+	case "mode":
+		return p.parseMode(fields)
+	case "task":
+		return p.parseTask(fields)
+	case "edge":
+		return p.parseEdge(fields)
+	case "transition":
+		return p.parseTransition(fields)
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+// kvs parses trailing key=value fields.
+func kvs(fields []string) (map[string]string, error) {
+	out := make(map[string]string, len(fields))
+	for _, f := range fields {
+		i := strings.IndexByte(f, '=')
+		if i <= 0 {
+			return nil, fmt.Errorf("malformed attribute %q (want key=value)", f)
+		}
+		key := f[:i]
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("duplicate attribute %q", key)
+		}
+		out[key] = f[i+1:]
+	}
+	return out, nil
+}
+
+func (p *parser) parsePE(fields []string) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("pe needs a name and attributes")
+	}
+	attrs, err := kvs(fields[2:])
+	if err != nil {
+		return err
+	}
+	pe := model.PE{Name: fields[1], Vmax: 3.3, Vt: 0.8}
+	for k, v := range attrs {
+		switch k {
+		case "class":
+			switch strings.ToLower(v) {
+			case "gpp":
+				pe.Class = model.GPP
+			case "asip":
+				pe.Class = model.ASIP
+			case "asic":
+				pe.Class = model.ASIC
+			case "fpga":
+				pe.Class = model.FPGA
+			default:
+				return fmt.Errorf("unknown PE class %q", v)
+			}
+		case "vmax":
+			if pe.Vmax, err = strconv.ParseFloat(v, 64); err != nil {
+				return fmt.Errorf("vmax: %w", err)
+			}
+		case "vt":
+			if pe.Vt, err = strconv.ParseFloat(v, 64); err != nil {
+				return fmt.Errorf("vt: %w", err)
+			}
+		case "area":
+			if pe.Area, err = strconv.Atoi(v); err != nil {
+				return fmt.Errorf("area: %w", err)
+			}
+		case "static":
+			if pe.StaticPower, err = ParsePower(v); err != nil {
+				return err
+			}
+		case "reconfig":
+			if pe.ReconfigTime, err = ParseTime(v); err != nil {
+				return err
+			}
+		case "levels":
+			pe.DVS = true
+			for _, s := range strings.Split(v, ",") {
+				lv, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return fmt.Errorf("levels: %w", err)
+				}
+				pe.Levels = append(pe.Levels, lv)
+			}
+			sort.Float64s(pe.Levels)
+		default:
+			return fmt.Errorf("unknown pe attribute %q", k)
+		}
+	}
+	p.pes = append(p.pes, peDecl{pe: pe})
+	return nil
+}
+
+func (p *parser) parseCL(fields []string) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("cl needs a name and attributes")
+	}
+	attrs, err := kvs(fields[2:])
+	if err != nil {
+		return err
+	}
+	d := clDecl{cl: model.CL{Name: fields[1]}}
+	for k, v := range attrs {
+		switch k {
+		case "bw":
+			if d.cl.BytesPerSec, err = ParseBandwidth(v); err != nil {
+				return err
+			}
+		case "active":
+			if d.cl.PowerActive, err = ParsePower(v); err != nil {
+				return err
+			}
+		case "static":
+			if d.cl.StaticPower, err = ParsePower(v); err != nil {
+				return err
+			}
+		case "pes":
+			d.pes = strings.Split(v, ",")
+		default:
+			return fmt.Errorf("unknown cl attribute %q", k)
+		}
+	}
+	p.cls = append(p.cls, d)
+	return nil
+}
+
+func (p *parser) parseImpl(fields []string) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("impl needs: impl TYPE PE key=value...")
+	}
+	td, ok := p.types[fields[1]]
+	if !ok {
+		return fmt.Errorf("impl for undeclared type %q", fields[1])
+	}
+	attrs, err := kvs(fields[3:])
+	if err != nil {
+		return err
+	}
+	im := model.ImplSpec{PE: fields[2]}
+	for k, v := range attrs {
+		switch k {
+		case "time":
+			if im.Time, err = ParseTime(v); err != nil {
+				return err
+			}
+		case "power":
+			if im.Power, err = ParsePower(v); err != nil {
+				return err
+			}
+		case "area":
+			if im.Area, err = strconv.Atoi(v); err != nil {
+				return fmt.Errorf("area: %w", err)
+			}
+		default:
+			return fmt.Errorf("unknown impl attribute %q", k)
+		}
+	}
+	td.impls = append(td.impls, im)
+	return nil
+}
+
+func (p *parser) parseMode(fields []string) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("mode needs a name and attributes")
+	}
+	attrs, err := kvs(fields[2:])
+	if err != nil {
+		return err
+	}
+	d := &modeDecl{name: fields[1]}
+	for k, v := range attrs {
+		switch k {
+		case "prob":
+			if d.prob, err = strconv.ParseFloat(v, 64); err != nil {
+				return fmt.Errorf("prob: %w", err)
+			}
+		case "period":
+			if d.period, err = ParseTime(v); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown mode attribute %q", k)
+		}
+	}
+	p.modes = append(p.modes, d)
+	return nil
+}
+
+func (p *parser) mode(name string) *modeDecl {
+	for _, m := range p.modes {
+		if m.name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseTask(fields []string) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("task needs: task MODE NAME key=value...")
+	}
+	m := p.mode(fields[1])
+	if m == nil {
+		return fmt.Errorf("task in undeclared mode %q", fields[1])
+	}
+	attrs, err := kvs(fields[3:])
+	if err != nil {
+		return err
+	}
+	td := taskDecl{name: fields[2]}
+	for k, v := range attrs {
+		switch k {
+		case "type":
+			td.typ = v
+		case "deadline":
+			if td.deadline, err = ParseTime(v); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown task attribute %q", k)
+		}
+	}
+	if td.typ == "" {
+		return fmt.Errorf("task %q needs a type", td.name)
+	}
+	m.tasks = append(m.tasks, td)
+	return nil
+}
+
+func (p *parser) parseEdge(fields []string) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("edge needs: edge MODE SRC DST [bytes=N]")
+	}
+	m := p.mode(fields[1])
+	if m == nil {
+		return fmt.Errorf("edge in undeclared mode %q", fields[1])
+	}
+	ed := edgeDecl{src: fields[2], dst: fields[3]}
+	if len(fields) > 4 {
+		attrs, err := kvs(fields[4:])
+		if err != nil {
+			return err
+		}
+		for k, v := range attrs {
+			switch k {
+			case "bytes":
+				b, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return fmt.Errorf("bytes: %w", err)
+				}
+				ed.bytes = b
+			default:
+				return fmt.Errorf("unknown edge attribute %q", k)
+			}
+		}
+	}
+	m.edges = append(m.edges, ed)
+	return nil
+}
+
+func (p *parser) parseTransition(fields []string) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("transition needs: transition FROM TO [max=T]")
+	}
+	td := transDecl{from: fields[1], to: fields[2]}
+	if len(fields) > 3 {
+		attrs, err := kvs(fields[3:])
+		if err != nil {
+			return err
+		}
+		for k, v := range attrs {
+			switch k {
+			case "max":
+				mt, err := ParseTime(v)
+				if err != nil {
+					return err
+				}
+				td.max = mt
+			default:
+				return fmt.Errorf("unknown transition attribute %q", k)
+			}
+		}
+	}
+	p.trans = append(p.trans, td)
+	return nil
+}
+
+type transDecl struct {
+	from, to string
+	max      float64
+}
+
+// finish replays the accumulated declarations through the model builder.
+func (p *parser) finish() (*model.System, error) {
+	if p.name == "" {
+		p.name = "unnamed"
+	}
+	b := model.NewBuilder(p.name)
+	for _, d := range p.pes {
+		b.AddPE(d.pe)
+	}
+	for _, d := range p.cls {
+		b.AddCL(d.cl, d.pes...)
+	}
+	for _, name := range p.typeOrder {
+		b.AddType(name, p.types[name].impls...)
+	}
+	for _, m := range p.modes {
+		b.BeginMode(m.name, m.prob, m.period)
+		for _, td := range m.tasks {
+			b.AddTask(td.name, td.typ, td.deadline)
+		}
+		for _, ed := range m.edges {
+			b.AddEdge(ed.src, ed.dst, ed.bytes)
+		}
+	}
+	for _, td := range p.trans {
+		b.AddTransition(td.from, td.to, td.max)
+	}
+	return b.Finish()
+}
+
+// Write emits the canonical text form of the system. Reading the output
+// back reproduces an identical specification.
+func Write(w io.Writer, sys *model.System) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "system %s\n\n", sys.App.Name)
+	for _, pe := range sys.Arch.PEs {
+		fmt.Fprintf(bw, "pe %s class=%s vmax=%g vt=%g", pe.Name, strings.ToLower(pe.Class.String()), pe.Vmax, pe.Vt)
+		if pe.Area > 0 {
+			fmt.Fprintf(bw, " area=%d", pe.Area)
+		}
+		if pe.StaticPower > 0 {
+			fmt.Fprintf(bw, " static=%s", FormatPower(pe.StaticPower))
+		}
+		if pe.ReconfigTime > 0 {
+			fmt.Fprintf(bw, " reconfig=%s", FormatTime(pe.ReconfigTime))
+		}
+		if pe.DVS {
+			strs := make([]string, len(pe.Levels))
+			for i, l := range pe.Levels {
+				strs[i] = strconv.FormatFloat(l, 'g', -1, 64)
+			}
+			fmt.Fprintf(bw, " levels=%s", strings.Join(strs, ","))
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, cl := range sys.Arch.CLs {
+		names := make([]string, len(cl.PEs))
+		for i, pid := range cl.PEs {
+			names[i] = sys.Arch.PE(pid).Name
+		}
+		fmt.Fprintf(bw, "cl %s bw=%s", cl.Name, FormatBandwidth(cl.BytesPerSec))
+		if cl.PowerActive > 0 {
+			fmt.Fprintf(bw, " active=%s", FormatPower(cl.PowerActive))
+		}
+		if cl.StaticPower > 0 {
+			fmt.Fprintf(bw, " static=%s", FormatPower(cl.StaticPower))
+		}
+		fmt.Fprintf(bw, " pes=%s\n", strings.Join(names, ","))
+	}
+	fmt.Fprintln(bw)
+	for _, tt := range sys.Lib.Types {
+		fmt.Fprintf(bw, "type %s\n", tt.Name)
+		for _, im := range tt.Impls {
+			fmt.Fprintf(bw, "impl %s %s time=%s power=%s",
+				tt.Name, sys.Arch.PE(im.PE).Name, FormatTime(im.Time), FormatPower(im.Power))
+			if im.Area > 0 {
+				fmt.Fprintf(bw, " area=%d", im.Area)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	fmt.Fprintln(bw)
+	for _, m := range sys.App.Modes {
+		fmt.Fprintf(bw, "mode %s prob=%g period=%s\n", m.Name, m.Prob, FormatTime(m.Period))
+		for _, task := range m.Graph.Tasks {
+			fmt.Fprintf(bw, "task %s %s type=%s", m.Name, task.Name, sys.Lib.Type(task.Type).Name)
+			if task.Deadline > 0 {
+				fmt.Fprintf(bw, " deadline=%s", FormatTime(task.Deadline))
+			}
+			fmt.Fprintln(bw)
+		}
+		for _, e := range m.Graph.Edges {
+			fmt.Fprintf(bw, "edge %s %s %s bytes=%g\n",
+				m.Name, m.Graph.Task(e.Src).Name, m.Graph.Task(e.Dst).Name, e.Bytes)
+		}
+	}
+	fmt.Fprintln(bw)
+	for _, tr := range sys.App.Transitions {
+		fmt.Fprintf(bw, "transition %s %s", sys.App.Mode(tr.From).Name, sys.App.Mode(tr.To).Name)
+		if tr.MaxTime > 0 {
+			fmt.Fprintf(bw, " max=%s", FormatTime(tr.MaxTime))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,378 @@
+package specio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"momosyn/internal/bench"
+	"momosyn/internal/gen"
+	"momosyn/internal/model"
+)
+
+const sample = `
+# A two-PE example.
+system demo
+
+pe cpu class=gpp vmax=3.3 vt=0.8 static=0.5mW levels=1.8,2.5,3.3
+pe acc class=asic area=500 static=0.2mW
+cl bus bw=1MB/s active=2mW static=0.1mW pes=cpu,acc
+
+type fir
+impl fir cpu time=10ms power=4mW
+impl fir acc time=200us power=1mW area=300
+type ctl
+impl ctl cpu time=1ms power=1mW
+
+mode run prob=0.9 period=50ms
+task run f1 type=fir
+task run c1 type=ctl deadline=20ms
+edge run f1 c1 bytes=256
+
+mode idle prob=0.1 period=100ms
+task idle c2 type=ctl
+
+transition run idle max=10ms
+transition idle run
+`
+
+func TestReadSample(t *testing.T) {
+	sys, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.App.Name != "demo" {
+		t.Errorf("name = %q", sys.App.Name)
+	}
+	if len(sys.Arch.PEs) != 2 || len(sys.Arch.CLs) != 1 {
+		t.Fatalf("arch shape wrong")
+	}
+	cpu := sys.Arch.PEs[0]
+	if !cpu.DVS || len(cpu.Levels) != 3 || cpu.Levels[0] != 1.8 {
+		t.Errorf("cpu DVS levels = %v", cpu.Levels)
+	}
+	if math.Abs(cpu.StaticPower-0.5e-3) > 1e-15 {
+		t.Errorf("cpu static = %v", cpu.StaticPower)
+	}
+	acc := sys.Arch.PEs[1]
+	if acc.Class != model.ASIC || acc.Area != 500 {
+		t.Errorf("acc = %+v", acc)
+	}
+	bus := sys.Arch.CLs[0]
+	if bus.BytesPerSec != 1e6 || bus.PowerActive != 2e-3 {
+		t.Errorf("bus = %+v", bus)
+	}
+	fir := sys.Lib.TypeByName("fir")
+	if fir == nil || len(fir.Impls) != 2 {
+		t.Fatalf("fir impls wrong")
+	}
+	if im, _ := fir.ImplOn(1); relDiff(im.Time, 200e-6) > 1e-12 || im.Area != 300 {
+		t.Errorf("fir acc impl = %+v", im)
+	}
+	if len(sys.App.Modes) != 2 {
+		t.Fatal("mode count")
+	}
+	run := sys.App.Modes[0]
+	if run.Prob != 0.9 || run.Period != 50e-3 {
+		t.Errorf("run mode = %+v", run)
+	}
+	if run.Graph.Tasks[1].Deadline != 20e-3 {
+		t.Errorf("deadline = %v", run.Graph.Tasks[1].Deadline)
+	}
+	if run.Graph.Edges[0].Bytes != 256 {
+		t.Errorf("edge bytes = %v", run.Graph.Edges[0].Bytes)
+	}
+	if len(sys.App.Transitions) != 2 || sys.App.Transitions[0].MaxTime != 10e-3 {
+		t.Errorf("transitions = %+v", sys.App.Transitions)
+	}
+	if sys.App.Transitions[1].MaxTime != 0 {
+		t.Error("missing max must mean unconstrained")
+	}
+}
+
+func TestRoundTripSample(t *testing.T) {
+	sys, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, sys)
+}
+
+func TestRoundTripSmartPhone(t *testing.T) {
+	sys, err := bench.SmartPhone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, sys)
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		sys, err := gen.Generate(gen.NewParams(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		roundTrip(t, sys)
+	}
+}
+
+// roundTrip writes the system, reads it back, writes again and requires
+// byte-identical output plus structural equality.
+func roundTrip(t *testing.T, sys *model.System) {
+	t.Helper()
+	var buf1 bytes.Buffer
+	if err := Write(&buf1, sys); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Read(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatalf("re-read failed: %v\nspec:\n%s", err, buf1.String())
+	}
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, sys2); err != nil {
+		t.Fatal(err)
+	}
+	// After one read the representation is canonical: a further
+	// read/write cycle must be a byte-identical fixed point.
+	sys3, err := Read(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := Write(&buf3, sys3); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != buf3.String() {
+		t.Fatal("write-read-write is not a fixed point")
+	}
+	assertEqualSystems(t, sys, sys2)
+}
+
+func assertEqualSystems(t *testing.T, a, b *model.System) {
+	t.Helper()
+	if len(a.Arch.PEs) != len(b.Arch.PEs) || len(a.Arch.CLs) != len(b.Arch.CLs) {
+		t.Fatal("arch shape differs")
+	}
+	for i := range a.Arch.PEs {
+		pa, pb := a.Arch.PEs[i], b.Arch.PEs[i]
+		if pa.Name != pb.Name || pa.Class != pb.Class || pa.Area != pb.Area ||
+			relDiff(pa.StaticPower, pb.StaticPower) > 1e-12 ||
+			pa.DVS != pb.DVS || len(pa.Levels) != len(pb.Levels) {
+			t.Fatalf("PE %d differs: %+v vs %+v", i, pa, pb)
+		}
+	}
+	if len(a.Lib.Types) != len(b.Lib.Types) {
+		t.Fatal("type count differs")
+	}
+	for i := range a.Lib.Types {
+		ta, tb := a.Lib.Types[i], b.Lib.Types[i]
+		if ta.Name != tb.Name || len(ta.Impls) != len(tb.Impls) {
+			t.Fatalf("type %d differs", i)
+		}
+		for j := range ta.Impls {
+			ia, ib := ta.Impls[j], tb.Impls[j]
+			if ia.PE != ib.PE || ia.Area != ib.Area ||
+				relDiff(ia.Time, ib.Time) > 1e-9 || relDiff(ia.Power, ib.Power) > 1e-9 {
+				t.Fatalf("type %s impl %d differs: %+v vs %+v", ta.Name, j, ia, ib)
+			}
+		}
+	}
+	if len(a.App.Modes) != len(b.App.Modes) {
+		t.Fatal("mode count differs")
+	}
+	for i := range a.App.Modes {
+		ma, mb := a.App.Modes[i], b.App.Modes[i]
+		if ma.Name != mb.Name || ma.Prob != mb.Prob || relDiff(ma.Period, mb.Period) > 1e-9 {
+			t.Fatalf("mode %d header differs", i)
+		}
+		if len(ma.Graph.Tasks) != len(mb.Graph.Tasks) || len(ma.Graph.Edges) != len(mb.Graph.Edges) {
+			t.Fatalf("mode %d graph shape differs", i)
+		}
+		for j := range ma.Graph.Tasks {
+			ta, tb := ma.Graph.Tasks[j], mb.Graph.Tasks[j]
+			if ta.Name != tb.Name || ta.Type != tb.Type || relDiff(ta.Deadline, tb.Deadline) > 1e-9 {
+				t.Fatalf("mode %d task %d differs", i, j)
+			}
+		}
+		for j := range ma.Graph.Edges {
+			ea, eb := ma.Graph.Edges[j], mb.Graph.Edges[j]
+			if ea.Src != eb.Src || ea.Dst != eb.Dst || ea.Bytes != eb.Bytes {
+				t.Fatalf("mode %d edge %d differs", i, j)
+			}
+		}
+	}
+	if len(a.App.Transitions) != len(b.App.Transitions) {
+		t.Fatal("transition count differs")
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, spec string
+	}{
+		{"unknown directive", "frobnicate x"},
+		{"bad attribute", "pe cpu class=gpp nonsense=1"},
+		{"malformed kv", "pe cpu class"},
+		{"duplicate kv", "pe cpu class=gpp class=gpp"},
+		{"bad class", "pe cpu class=quantum"},
+		{"impl before type", "pe cpu class=gpp\nimpl fir cpu time=1ms power=1mW"},
+		{"task before mode", "task m t type=x"},
+		{"edge before mode", "edge m a b"},
+		{"bad time", "pe cpu class=gpp\ntype t\nimpl t cpu time=10parsecs power=1mW"},
+		{"negative power", "pe cpu class=gpp\ntype t\nimpl t cpu time=1ms power=-1mW"},
+		{"duplicate type", "type t\ntype t"},
+		{"system extra", "system a b"},
+		{"bad bytes", "mode m prob=1 period=1s\ntask m a type=t\nedge m a a bytes=x"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.spec)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadValidatesSemantics(t *testing.T) {
+	// Syntactically fine but probabilities do not sum to 1.
+	spec := `
+pe cpu class=gpp
+cl bus bw=1MB/s pes=cpu
+type t
+impl t cpu time=1ms power=1mW
+mode a prob=0.4 period=1s
+task a x type=t
+mode b prob=0.4 period=1s
+task b y type=t
+`
+	if _, err := Read(strings.NewReader(spec)); err == nil {
+		t.Error("semantic validation must run on parsed specs")
+	}
+}
+
+func TestUnitParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		f    func(string) (float64, error)
+		want float64
+	}{
+		{"10ms", ParseTime, 10e-3},
+		{"250us", ParseTime, 250e-6},
+		{"3ns", ParseTime, 3e-9},
+		{"1.5s", ParseTime, 1.5},
+		{"2", ParseTime, 2},
+		{"5mW", ParsePower, 5e-3},
+		{"7uW", ParsePower, 7e-6},
+		{"1W", ParsePower, 1},
+		{"0.25", ParsePower, 0.25},
+		{"10MB/s", ParseBandwidth, 10e6},
+		{"8kB/s", ParseBandwidth, 8e3},
+		{"1GB/s", ParseBandwidth, 1e9},
+		{"512B/s", ParseBandwidth, 512},
+	}
+	for _, c := range cases {
+		got, err := c.f(c.in)
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if relDiff(got, c.want) > 1e-12 {
+			t.Errorf("%q = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-5ms", "10lightyears"} {
+		if _, err := ParseTime(bad); err == nil {
+			t.Errorf("%q should not parse", bad)
+		}
+	}
+}
+
+func TestUnitFormattingRoundTrips(t *testing.T) {
+	for _, v := range []float64{0, 1e-9, 42e-6, 3.7e-3, 1.25, 900} {
+		s := FormatTime(v)
+		got, err := ParseTime(s)
+		if err != nil {
+			t.Fatalf("FormatTime(%v) = %q does not parse: %v", v, s, err)
+		}
+		if relDiff(got, v) > 1e-9 {
+			t.Errorf("time %v -> %q -> %v", v, s, got)
+		}
+	}
+	for _, v := range []float64{0, 5e-6, 3e-3, 2.5} {
+		s := FormatPower(v)
+		got, err := ParsePower(s)
+		if err != nil || relDiff(got, v) > 1e-9 {
+			t.Errorf("power %v -> %q -> %v (%v)", v, s, got, err)
+		}
+	}
+	for _, v := range []float64{1, 5e3, 2e6, 3e9} {
+		s := FormatBandwidth(v)
+		got, err := ParseBandwidth(s)
+		if err != nil || relDiff(got, v) > 1e-9 {
+			t.Errorf("bw %v -> %q -> %v (%v)", v, s, got, err)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	spec := "# leading comment\n\n  \nsystem x # trailing\npe cpu class=gpp\ncl b bw=1B/s pes=cpu\ntype t\nimpl t cpu time=1ms power=1mW\nmode m prob=1 period=1s\ntask m a type=t\n"
+	sys, err := Read(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.App.Name != "x" {
+		t.Errorf("name = %q", sys.App.Name)
+	}
+}
+
+// TestReadNeverPanicsOnGarbage feeds randomly mangled spec lines to the
+// parser; it must always return an error or a valid system, never panic.
+func TestReadNeverPanicsOnGarbage(t *testing.T) {
+	base := strings.Split(sample, "\n")
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 200; round++ {
+		lines := append([]string(nil), base...)
+		// Mutate a few random lines: truncate, duplicate, or scramble.
+		for k := 0; k < 3; k++ {
+			i := rng.Intn(len(lines))
+			switch rng.Intn(4) {
+			case 0:
+				if len(lines[i]) > 0 {
+					lines[i] = lines[i][:rng.Intn(len(lines[i]))]
+				}
+			case 1:
+				lines[i] = lines[i] + " " + lines[rng.Intn(len(lines))]
+			case 2:
+				lines[i] = strings.ReplaceAll(lines[i], "=", " ")
+			case 3:
+				lines[i] = strings.ToUpper(lines[i])
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on mangled input: %v\n%s", r, strings.Join(lines, "\n"))
+				}
+			}()
+			sys, err := Read(strings.NewReader(strings.Join(lines, "\n")))
+			if err == nil {
+				// Any accepted output must validate.
+				if verr := sys.Validate(); verr != nil {
+					t.Fatalf("parser accepted invalid system: %v", verr)
+				}
+			}
+		}()
+	}
+}

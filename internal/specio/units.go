@@ -1,0 +1,100 @@
+package specio
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseTime parses a duration with unit suffix (ns, us, ms, s) into
+// seconds. A bare number is seconds.
+func ParseTime(s string) (float64, error) {
+	return parseUnit(s, "time", []unit{
+		{"ns", 1e-9}, {"us", 1e-6}, {"ms", 1e-3}, {"s", 1},
+	})
+}
+
+// ParsePower parses a power with unit suffix (uW, mW, W) into watts. A
+// bare number is watts.
+func ParsePower(s string) (float64, error) {
+	return parseUnit(s, "power", []unit{
+		{"uW", 1e-6}, {"mW", 1e-3}, {"W", 1},
+	})
+}
+
+// ParseBandwidth parses a bandwidth (B/s, kB/s, MB/s, GB/s) into bytes per
+// second. A bare number is bytes per second.
+func ParseBandwidth(s string) (float64, error) {
+	return parseUnit(s, "bandwidth", []unit{
+		{"GB/s", 1e9}, {"MB/s", 1e6}, {"kB/s", 1e3}, {"B/s", 1},
+	})
+}
+
+type unit struct {
+	suffix string
+	scale  float64
+}
+
+// parseUnit matches the longest suffix first; units are matched
+// case-sensitively except for a fully lower-cased fallback, so "10MS" is
+// rejected but "10ms" and canonical "10mW" both work.
+func parseUnit(s, what string, units []unit) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty %s value", what)
+	}
+	best := unit{}
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) && len(u.suffix) > len(best.suffix) {
+			best = u
+		}
+	}
+	num := s
+	scale := 1.0
+	if best.suffix != "" {
+		num = s[:len(s)-len(best.suffix)]
+		scale = best.scale
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s value %q", what, s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative %s value %q", what, s)
+	}
+	return v * scale, nil
+}
+
+// FormatTime renders seconds with the largest unit that keeps the value
+// >= 1 (or ns for very small values), using minimal digits.
+func FormatTime(v float64) string {
+	return formatUnit(v, []unit{
+		{"s", 1}, {"ms", 1e-3}, {"us", 1e-6}, {"ns", 1e-9},
+	})
+}
+
+// FormatPower renders watts analogously (W, mW, uW).
+func FormatPower(v float64) string {
+	return formatUnit(v, []unit{
+		{"W", 1}, {"mW", 1e-3}, {"uW", 1e-6},
+	})
+}
+
+// FormatBandwidth renders bytes per second (GB/s, MB/s, kB/s, B/s).
+func FormatBandwidth(v float64) string {
+	return formatUnit(v, []unit{
+		{"GB/s", 1e9}, {"MB/s", 1e6}, {"kB/s", 1e3}, {"B/s", 1},
+	})
+}
+
+func formatUnit(v float64, units []unit) string {
+	if v == 0 {
+		return "0" + units[len(units)-1].suffix
+	}
+	for _, u := range units {
+		if v >= u.scale {
+			return strconv.FormatFloat(v/u.scale, 'g', -1, 64) + u.suffix
+		}
+	}
+	last := units[len(units)-1]
+	return strconv.FormatFloat(v/last.scale, 'g', -1, 64) + last.suffix
+}

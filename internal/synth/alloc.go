@@ -1,0 +1,262 @@
+// Package synth implements the paper's primary contribution: the outer
+// genetic optimisation loop of the multi-mode co-synthesis. It encodes
+// multi-mode task mappings as genomes, allocates hardware cores (with
+// replica cores for parallel low-mobility tasks), evaluates implementation
+// candidates (scheduling, optional DVS, probability-weighted average power,
+// area / timing / transition penalties) and applies the four
+// problem-specific improvement mutations of paper section 4.1.
+package synth
+
+import (
+	"sort"
+
+	"momosyn/internal/model"
+	"momosyn/internal/sched"
+)
+
+// coreKey identifies the core pool of one task type on one hardware PE.
+type coreKey struct {
+	pe model.PEID
+	tt model.TaskTypeID
+}
+
+// Allocation is the hardware core allocation of one implementation
+// candidate: how many core instances of each task type exist on each
+// hardware PE while each mode is active. ASIC allocations are static (the
+// same cores exist in every mode); FPGA allocations are per-mode working
+// sets exchanged by reconfiguration during mode transitions.
+type Allocation struct {
+	// inst[mode] maps (pe, type) to the instance count during that mode.
+	inst []map[coreKey]int
+	// UsedArea[mode][pe] is the silicon area occupied during the mode.
+	UsedArea [][]int
+	// Violation[pe] is the worst-case area excess in cells over all modes
+	// (zero when the PE's area constraint holds).
+	Violation []int
+}
+
+var _ sched.CoreProvider = (*Allocation)(nil)
+
+// Instances implements sched.CoreProvider.
+func (a *Allocation) Instances(mode model.ModeID, pe model.PEID, tt model.TaskTypeID) int {
+	return a.inst[mode][coreKey{pe, tt}]
+}
+
+// AreaFeasible reports whether no PE exceeds its area budget in any mode.
+func (a *Allocation) AreaFeasible() bool {
+	for _, v := range a.Violation {
+		if v > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// typeDemand describes the replica-core demand of one task type on one PE.
+type typeDemand struct {
+	tt     model.TaskTypeID
+	area   int
+	demand int // max number of potentially parallel tasks (>= 1)
+}
+
+// AllocateCores implements paper Fig. 4 line 5 ("ImplementHWcores"): every
+// task type mapped to a hardware PE gets one mandatory core; replica cores
+// are added for task types whose tasks have overlapping mobility windows
+// (likely parallel execution), as long as the area budget permits. ASICs
+// allocate the per-type maximum demand over all modes statically; FPGAs
+// allocate per-mode working sets.
+//
+// mob holds the per-mode mobility analyses (indexed by ModeID).
+func AllocateCores(s *model.System, mapping model.Mapping, mob []*sched.Mobility) *Allocation {
+	return AllocateCoresWith(s, mapping, mob, false)
+}
+
+// AllocateCoresWith is AllocateCores with an explicit replica toggle:
+// noReplicas limits every hardware type to its single mandatory core (the
+// ablation baseline without paper Fig. 4 line 5's parallelism cores).
+func AllocateCoresWith(s *model.System, mapping model.Mapping, mob []*sched.Mobility, noReplicas bool) *Allocation {
+	nModes := len(s.App.Modes)
+	nPEs := len(s.Arch.PEs)
+	a := &Allocation{
+		inst:      make([]map[coreKey]int, nModes),
+		UsedArea:  make([][]int, nModes),
+		Violation: make([]int, nPEs),
+	}
+	for m := range a.inst {
+		a.inst[m] = make(map[coreKey]int)
+		a.UsedArea[m] = make([]int, nPEs)
+	}
+
+	for _, pe := range s.Arch.PEs {
+		if !pe.Class.IsHardware() {
+			continue
+		}
+		switch pe.Class {
+		case model.ASIC:
+			allocateASIC(s, mapping, mob, a, pe, noReplicas)
+		case model.FPGA:
+			allocateFPGA(s, mapping, mob, a, pe, noReplicas)
+		}
+	}
+	return a
+}
+
+// demandsOn computes the replica demand per task type mapped to the PE in
+// one mode: the maximum number of same-type tasks whose execution windows
+// overlap.
+func demandsOn(s *model.System, mapping model.Mapping, mob *sched.Mobility, mode model.ModeID, pe model.PEID) map[model.TaskTypeID]int {
+	byType := make(map[model.TaskTypeID][]model.TaskID)
+	g := s.App.Mode(mode).Graph
+	for ti := range g.Tasks {
+		if mapping[mode][ti] == pe {
+			tt := g.Task(model.TaskID(ti)).Type
+			byType[tt] = append(byType[tt], model.TaskID(ti))
+		}
+	}
+	out := make(map[model.TaskTypeID]int, len(byType))
+	for tt, tasks := range byType {
+		d := mob.MaxOverlap(tasks)
+		if d < 1 {
+			d = 1
+		}
+		out[tt] = d
+	}
+	return out
+}
+
+func allocateASIC(s *model.System, mapping model.Mapping, mob []*sched.Mobility, a *Allocation, pe *model.PE, noReplicas bool) {
+	// Aggregate demand over all modes: cores on a non-reconfigurable ASIC
+	// exist for the lifetime of the system.
+	demand := make(map[model.TaskTypeID]int)
+	for m := range s.App.Modes {
+		for tt, d := range demandsOn(s, mapping, mob[m], model.ModeID(m), pe.ID) {
+			if d > demand[tt] {
+				demand[tt] = d
+			}
+		}
+	}
+	if noReplicas {
+		capDemand(demand)
+	}
+	counts, used := fillArea(s, demand, pe)
+	if excess := usedMandatory(s, demand, pe) - pe.Area; excess > 0 {
+		a.Violation[pe.ID] = excess
+	}
+	for m := range s.App.Modes {
+		for tt, c := range counts {
+			a.inst[m][coreKey{pe.ID, tt}] = c
+		}
+		a.UsedArea[m][pe.ID] = used
+	}
+}
+
+func allocateFPGA(s *model.System, mapping model.Mapping, mob []*sched.Mobility, a *Allocation, pe *model.PE, noReplicas bool) {
+	for m := range s.App.Modes {
+		demand := demandsOn(s, mapping, mob[m], model.ModeID(m), pe.ID)
+		if noReplicas {
+			capDemand(demand)
+		}
+		counts, used := fillArea(s, demand, pe)
+		if excess := usedMandatory(s, demand, pe) - pe.Area; excess > a.Violation[pe.ID] {
+			a.Violation[pe.ID] = excess
+		}
+		for tt, c := range counts {
+			a.inst[m][coreKey{pe.ID, tt}] = c
+		}
+		a.UsedArea[m][pe.ID] = used
+	}
+}
+
+// capDemand limits every type's demand to the single mandatory core.
+func capDemand(demand map[model.TaskTypeID]int) {
+	for tt := range demand {
+		demand[tt] = 1
+	}
+}
+
+// usedMandatory returns the area of the mandatory (one-per-type) cores.
+func usedMandatory(s *model.System, demand map[model.TaskTypeID]int, pe *model.PE) int {
+	used := 0
+	for tt := range demand {
+		if im, ok := s.Lib.Type(tt).ImplOn(pe.ID); ok {
+			used += im.Area
+		}
+	}
+	return used
+}
+
+// fillArea allocates one mandatory core per demanded type, then adds
+// replica cores by descending demand while the area budget permits.
+// Mandatory cores are allocated even when they already exceed the budget
+// (the violation is penalised by the fitness); replicas never overflow.
+func fillArea(s *model.System, demand map[model.TaskTypeID]int, pe *model.PE) (map[model.TaskTypeID]int, int) {
+	counts := make(map[model.TaskTypeID]int, len(demand))
+	used := 0
+	var tds []typeDemand
+	for tt, d := range demand {
+		im, ok := s.Lib.Type(tt).ImplOn(pe.ID)
+		if !ok {
+			// Invalid mapping (no implementation); the evaluator charges a
+			// surrogate execution time, no core is allocated.
+			continue
+		}
+		counts[tt] = 1
+		used += im.Area
+		tds = append(tds, typeDemand{tt: tt, area: im.Area, demand: d})
+	}
+	sort.Slice(tds, func(i, j int) bool {
+		a, b := tds[i], tds[j]
+		if a.demand != b.demand {
+			return a.demand > b.demand
+		}
+		if a.area != b.area {
+			return a.area < b.area
+		}
+		return a.tt < b.tt
+	})
+	// Round-robin replica insertion so high-demand types grow first but no
+	// type starves while area remains.
+	progress := true
+	for progress {
+		progress = false
+		for _, td := range tds {
+			if counts[td.tt] >= td.demand {
+				continue
+			}
+			if used+td.area > pe.Area {
+				continue
+			}
+			counts[td.tt]++
+			used += td.area
+			progress = true
+		}
+	}
+	return counts, used
+}
+
+// TransitionTime returns the reconfiguration time of the given mode
+// transition: the maximum over all FPGAs of (cores swapped in) times the
+// per-core reconfiguration time. ASIC allocations are static and never
+// contribute (paper section 2.2).
+func (a *Allocation) TransitionTime(s *model.System, tr model.Transition) float64 {
+	worst := 0.0
+	for _, pe := range s.Arch.PEs {
+		if pe.Class != model.FPGA || pe.ReconfigTime <= 0 {
+			continue
+		}
+		swapIn := 0
+		for key, cNew := range a.inst[tr.To] {
+			if key.pe != pe.ID {
+				continue
+			}
+			cOld := a.inst[tr.From][key]
+			if cNew > cOld {
+				swapIn += cNew - cOld
+			}
+		}
+		if t := float64(swapIn) * pe.ReconfigTime; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

@@ -1,0 +1,49 @@
+package synth_test
+
+import (
+	"fmt"
+	"log"
+
+	"momosyn/internal/bench"
+	"momosyn/internal/ga"
+	"momosyn/internal/synth"
+)
+
+// ExampleSynthesize runs the complete co-synthesis on the paper's Fig. 2
+// motivational example and prints the probability-weighted average power
+// of the best implementation — matching the paper's 15.7423 mWs optimum.
+func ExampleSynthesize() {
+	sys, err := bench.Figure2System()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := synth.Synthesize(sys, synth.Options{
+		GA:   ga.Config{PopSize: 24, MaxGenerations: 80, Stagnation: 25},
+		Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.4f mWs, feasible=%v\n", res.Best.AvgPower*1e3, res.Best.Feasible())
+	// Output:
+	// 15.7423 mWs, feasible=true
+}
+
+// ExampleExhaustive verifies the probability-neglecting optimum of the
+// same example by enumerating the full mapping space under uniform mode
+// probabilities.
+func ExampleExhaustive() {
+	sys, err := bench.Figure2System()
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := synth.Exhaustive(sys, false, synth.UniformProbs(sys))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Judged under the true usage profile, the uniform optimum costs the
+	// paper's 26.7158 mWs.
+	fmt.Printf("%.4f mWs\n", best.Reweighted(sys, nil)*1e3)
+	// Output:
+	// 26.7158 mWs
+}

@@ -1,0 +1,126 @@
+package synth
+
+import (
+	"testing"
+
+	"momosyn/internal/ga"
+	"momosyn/internal/model"
+)
+
+// Failure-injection tests: systems that admit no feasible implementation
+// must come back flagged infeasible with a fitness above the feasible
+// bound — never silently "solved".
+
+func TestSynthesizeImpossibleTiming(t *testing.T) {
+	// One software-only task whose execution time exceeds the period on
+	// the only PE: no mapping can be feasible.
+	b := model.NewBuilder("impossible")
+	b.AddPE(model.PE{Name: "cpu", Class: model.GPP, Vmax: 3.3, Vt: 0.8})
+	b.AddCL(model.CL{Name: "bus", BytesPerSec: 1e6}, "cpu")
+	b.AddType("slow", model.ImplSpec{PE: "cpu", Time: 50e-3, Power: 1e-3})
+	b.BeginMode("m", 1, 10e-3)
+	b.AddTask("t", "slow", 0)
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(sys, Options{GA: ga.Config{PopSize: 8, MaxGenerations: 10, Stagnation: 5}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Feasible() {
+		t.Fatal("impossible timing reported feasible")
+	}
+	if res.Best.TimingPenalty <= 1 {
+		t.Error("timing penalty missing")
+	}
+	if res.Best.Fitness <= PowerUpperBound(sys) {
+		t.Error("infeasible result not lifted above the feasible bound")
+	}
+}
+
+func TestSynthesizeImpossibleArea(t *testing.T) {
+	// A hardware-only task type whose core exceeds the die: area violation
+	// is unavoidable.
+	b := model.NewBuilder("bigcore")
+	b.AddPE(model.PE{Name: "cpu", Class: model.GPP, Vmax: 3.3, Vt: 0.8})
+	b.AddPE(model.PE{Name: "hw", Class: model.ASIC, Vmax: 3.3, Vt: 0.8, Area: 100})
+	b.AddCL(model.CL{Name: "bus", BytesPerSec: 1e6}, "cpu", "hw")
+	b.AddType("huge", model.ImplSpec{PE: "hw", Time: 1e-3, Power: 1e-3, Area: 500})
+	b.BeginMode("m", 1, 100e-3)
+	b.AddTask("t", "huge", 0)
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(sys, Options{GA: ga.Config{PopSize: 8, MaxGenerations: 10, Stagnation: 5}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Feasible() {
+		t.Fatal("impossible area reported feasible")
+	}
+	if res.Best.AreaPenalty <= 1 {
+		t.Error("area penalty missing")
+	}
+}
+
+func TestSynthesizeUnroutableArchitecture(t *testing.T) {
+	// Two tasks whose types live on mutually unconnected PEs: the
+	// communication between them cannot be routed.
+	b := model.NewBuilder("islands")
+	b.AddPE(model.PE{Name: "cpu0", Class: model.GPP, Vmax: 3.3, Vt: 0.8})
+	b.AddPE(model.PE{Name: "cpu1", Class: model.GPP, Vmax: 3.3, Vt: 0.8})
+	b.AddCL(model.CL{Name: "loop0", BytesPerSec: 1e6}, "cpu0")
+	b.AddCL(model.CL{Name: "loop1", BytesPerSec: 1e6}, "cpu1")
+	b.AddType("only0", model.ImplSpec{PE: "cpu0", Time: 1e-3, Power: 1e-3})
+	b.AddType("only1", model.ImplSpec{PE: "cpu1", Time: 1e-3, Power: 1e-3})
+	b.BeginMode("m", 1, 100e-3)
+	b.AddTask("a", "only0", 0)
+	b.AddTask("b", "only1", 0)
+	b.AddEdge("a", "b", 100)
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(sys, Options{GA: ga.Config{PopSize: 8, MaxGenerations: 10, Stagnation: 5}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Feasible() {
+		t.Fatal("unroutable communication reported feasible")
+	}
+	if res.Best.Unroutable == 0 {
+		t.Error("unroutable count missing")
+	}
+}
+
+func TestSynthesizeImpossibleTransition(t *testing.T) {
+	// An FPGA-only type pair whose swap always exceeds the transition
+	// limit: the candidate must carry a transition penalty.
+	b := model.NewBuilder("slowswap")
+	b.AddPE(model.PE{Name: "fpga", Class: model.FPGA, Vmax: 3.3, Vt: 0.8, Area: 300, ReconfigTime: 50e-3})
+	b.AddCL(model.CL{Name: "bus", BytesPerSec: 1e6}, "fpga")
+	b.AddType("x", model.ImplSpec{PE: "fpga", Time: 1e-3, Power: 1e-3, Area: 200})
+	b.AddType("y", model.ImplSpec{PE: "fpga", Time: 1e-3, Power: 1e-3, Area: 200})
+	b.BeginMode("m0", 0.5, 100e-3)
+	b.AddTask("a", "x", 0)
+	b.BeginMode("m1", 0.5, 100e-3)
+	b.AddTask("b", "y", 0)
+	b.AddTransition("m0", "m1", 1e-3) // far below the 50 ms reconfiguration
+	b.AddTransition("m1", "m0", 1e-3)
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(sys, Options{GA: ga.Config{PopSize: 8, MaxGenerations: 10, Stagnation: 5}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Feasible() {
+		t.Fatal("impossible transition reported feasible")
+	}
+	if res.Best.TransPenalty <= 1 {
+		t.Error("transition penalty missing")
+	}
+}

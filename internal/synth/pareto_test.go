@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"testing"
+
+	"momosyn/internal/ga"
+	"momosyn/internal/model"
+)
+
+// paretoSystem: a single mode with two tasks whose types trade power
+// against area distinctly, so the true front is enumerable.
+func paretoSystem(t *testing.T) *model.System {
+	t.Helper()
+	b := model.NewBuilder("pareto")
+	b.AddPE(model.PE{Name: "cpu", Class: model.GPP, Vmax: 3.3, Vt: 0.8, StaticPower: 1e-4})
+	b.AddPE(model.PE{Name: "hw", Class: model.ASIC, Vmax: 3.3, Vt: 0.8, Area: 1000, StaticPower: 1e-4})
+	b.AddCL(model.CL{Name: "bus", BytesPerSec: 1e6}, "cpu", "hw")
+	b.AddType("big",
+		model.ImplSpec{PE: "cpu", Time: 20e-3, Power: 10e-3},
+		model.ImplSpec{PE: "hw", Time: 1e-3, Power: 1e-3, Area: 600},
+	)
+	b.AddType("small",
+		model.ImplSpec{PE: "cpu", Time: 10e-3, Power: 6e-3},
+		model.ImplSpec{PE: "hw", Time: 1e-3, Power: 1e-3, Area: 300},
+	)
+	b.BeginMode("m", 1, 0.1)
+	b.AddTask("a", "big", 0)
+	b.AddTask("b", "small", 0)
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestParetoFindsFullFront(t *testing.T) {
+	sys := paretoSystem(t)
+	front, err := Pareto(sys, ParetoOptions{
+		GA:   ga.Config{PopSize: 24, MaxGenerations: 40},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four mappings exist; all four are Pareto-optimal here:
+	//  both SW      (area 0),
+	//  b on HW      (area 300),
+	//  a on HW      (area 600),
+	//  both on HW   (area 900).
+	if len(front) != 4 {
+		t.Fatalf("front size = %d, want 4: %+v", len(front), front)
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Power < front[i-1].Power {
+			t.Error("front not sorted by power")
+		}
+		if front[i].AreaFrac < front[i-1].AreaFrac {
+			// sorted ascending by power => area must descend.
+			continue
+		}
+		t.Errorf("point %d does not trade area for power: %+v vs %+v",
+			i, front[i-1], front[i])
+	}
+	// Extremes: all-HW uses 900/1000 cells; all-SW none.
+	if front[0].AreaFrac != 0.9 {
+		t.Errorf("cheapest-power point area = %v, want 0.9", front[0].AreaFrac)
+	}
+	if front[len(front)-1].AreaFrac != 0 {
+		t.Errorf("no-silicon point area = %v, want 0", front[len(front)-1].AreaFrac)
+	}
+	for _, pt := range front {
+		if !pt.Feasible {
+			t.Errorf("all points of this easy system are feasible: %+v", pt)
+		}
+		if err := pt.Mapping.Validate(sys); err != nil {
+			t.Errorf("front mapping invalid: %v", err)
+		}
+	}
+}
+
+func TestParetoIgnoresAreaConstraint(t *testing.T) {
+	// Shrink the die so that both-HW (900 cells) violates the 700-cell
+	// area; the exploration must still report that point (AreaFrac > 1).
+	sys := paretoSystem(t)
+	sys.Arch.PEs[1].Area = 700
+	front, err := Pareto(sys, ParetoOptions{
+		GA:   ga.Config{PopSize: 24, MaxGenerations: 40},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := false
+	for _, pt := range front {
+		if pt.AreaFrac > 1 {
+			over = true
+		}
+	}
+	if !over {
+		t.Error("exploration should surface beyond-die design points")
+	}
+}

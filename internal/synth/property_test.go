@@ -1,0 +1,316 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"momosyn/internal/gen"
+	"momosyn/internal/model"
+	"momosyn/internal/sched"
+)
+
+// Property tests: structural invariants of schedules, allocations, voltage
+// scaling and evaluations over randomly generated instances and random
+// mappings. These are the safety net behind the GA — every candidate it
+// evaluates must satisfy these regardless of how pathological the mapping
+// is.
+
+// randomMapping draws a uniformly random valid mapping.
+func randomMapping(sys *model.System, rng *rand.Rand) model.Mapping {
+	m := model.NewMapping(sys.App)
+	for mi, mode := range sys.App.Modes {
+		for ti, task := range mode.Graph.Tasks {
+			cands := sys.CandidatePEs(task.Type)
+			m[mi][ti] = cands[rng.Intn(len(cands))]
+		}
+	}
+	return m
+}
+
+// forEachInstance runs the check over a spread of generated instances and
+// random mappings.
+func forEachInstance(t *testing.T, nSeeds, nMaps int, check func(t *testing.T, sys *model.System, mapping model.Mapping)) {
+	t.Helper()
+	for seed := int64(1); seed <= int64(nSeeds); seed++ {
+		sys, err := gen.Generate(gen.NewParams(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed * 977))
+		for k := 0; k < nMaps; k++ {
+			check(t, sys, randomMapping(sys, rng))
+		}
+	}
+}
+
+func TestPropertySchedulesRespectPrecedence(t *testing.T) {
+	forEachInstance(t, 8, 3, func(t *testing.T, sys *model.System, mapping model.Mapping) {
+		ev := NewEvaluator(sys, false)
+		res, err := ev.Evaluate(mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m, sc := range res.Schedules {
+			g := sys.App.Modes[m].Graph
+			for ei, e := range g.Edges {
+				src, dst := sc.Tasks[e.Src], sc.Tasks[e.Dst]
+				cs := sc.Comms[ei]
+				if cs.Start < src.Finish-1e-9 {
+					t.Fatalf("mode %d edge %d: comm starts before producer", m, ei)
+				}
+				if dst.Start < cs.Finish-1e-9 {
+					t.Fatalf("mode %d edge %d: consumer starts before arrival", m, ei)
+				}
+			}
+		}
+	})
+}
+
+func TestPropertyNoResourceOverlap(t *testing.T) {
+	forEachInstance(t, 8, 3, func(t *testing.T, sys *model.System, mapping model.Mapping) {
+		ev := NewEvaluator(sys, false)
+		res, err := ev.Evaluate(mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m, sc := range res.Schedules {
+			g := sys.App.Modes[m].Graph
+			// Software PEs and hardware core instances are exclusive.
+			type key struct {
+				pe   model.PEID
+				tt   model.TaskTypeID
+				core int
+			}
+			byRes := make(map[key][]sched.TaskSlot)
+			for ti := range sc.Tasks {
+				slot := sc.Tasks[ti]
+				k := key{pe: slot.PE, tt: -1, core: -1}
+				if sys.Arch.PE(slot.PE).Class.IsHardware() {
+					k = key{slot.PE, g.Task(slot.Task).Type, slot.Core}
+				}
+				byRes[k] = append(byRes[k], slot)
+			}
+			for k, slots := range byRes {
+				for i := range slots {
+					for j := i + 1; j < len(slots); j++ {
+						a, b := slots[i], slots[j]
+						if a.Start < b.Finish-1e-9 && b.Start < a.Finish-1e-9 {
+							t.Fatalf("mode %d: overlap on resource %+v", m, k)
+						}
+					}
+				}
+			}
+			// Communication links are exclusive too.
+			byCL := make(map[model.CLID][]sched.CommSlot)
+			for ei := range sc.Comms {
+				cs := sc.Comms[ei]
+				if cs.Routed && cs.CL != model.NoCL && cs.Time > 0 {
+					byCL[cs.CL] = append(byCL[cs.CL], cs)
+				}
+			}
+			for cl, slots := range byCL {
+				for i := range slots {
+					for j := i + 1; j < len(slots); j++ {
+						a, b := slots[i], slots[j]
+						if a.Start < b.Finish-1e-9 && b.Start < a.Finish-1e-9 {
+							t.Fatalf("mode %d: overlapping messages on CL %d", m, cl)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestPropertyHardwareTasksUseAllocatedCores(t *testing.T) {
+	forEachInstance(t, 8, 3, func(t *testing.T, sys *model.System, mapping model.Mapping) {
+		ev := NewEvaluator(sys, false)
+		res, err := ev.Evaluate(mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m, sc := range res.Schedules {
+			g := sys.App.Modes[m].Graph
+			for ti := range sc.Tasks {
+				slot := sc.Tasks[ti]
+				pe := sys.Arch.PE(slot.PE)
+				if !pe.Class.IsHardware() {
+					if slot.Core != -1 {
+						t.Fatalf("software slot with core index %d", slot.Core)
+					}
+					continue
+				}
+				tt := g.Task(slot.Task).Type
+				n := res.Alloc.Instances(model.ModeID(m), pe.ID, tt)
+				// Tasks whose type has no implementation on the PE carry a
+				// surrogate penalty and no core.
+				if _, ok := sys.Lib.Type(tt).ImplOn(pe.ID); !ok {
+					continue
+				}
+				if slot.Core < 0 || slot.Core >= n {
+					t.Fatalf("mode %d task %d: core %d outside allocation %d", m, ti, slot.Core, n)
+				}
+			}
+		}
+	})
+}
+
+func TestPropertyDVSNeverIncreasesEnergyNorViolatesDeadlines(t *testing.T) {
+	forEachInstance(t, 8, 3, func(t *testing.T, sys *model.System, mapping model.Mapping) {
+		plain := NewEvaluator(sys, false)
+		scaled := NewEvaluator(sys, true)
+		resP, err := plain.Evaluate(mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resS, err := scaled.Evaluate(mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := range resP.Schedules {
+			eP := resP.Schedules[m].DynamicEnergy()
+			eS := resS.Schedules[m].DynamicEnergy()
+			if eS > eP+1e-12 {
+				t.Fatalf("mode %d: DVS increased energy %v -> %v", m, eP, eS)
+			}
+			lP := resP.Lateness[m]
+			lS := resS.Lateness[m]
+			if lP <= 1e-9 && lS > 1e-9 {
+				t.Fatalf("mode %d: DVS made a feasible schedule late (%v)", m, lS)
+			}
+		}
+		if resS.AvgPower > resP.AvgPower+1e-12 {
+			t.Fatalf("DVS increased average power %v -> %v", resP.AvgPower, resS.AvgPower)
+		}
+	})
+}
+
+func TestPropertySoftwareOnlyDVSBetweenPlainAndFull(t *testing.T) {
+	forEachInstance(t, 6, 2, func(t *testing.T, sys *model.System, mapping model.Mapping) {
+		plain := NewEvaluator(sys, false)
+		swOnly := &Evaluator{Sys: sys, UseDVS: true, Weights: DefaultWeights(), DVSSoftwareOnly: true}
+		full := NewEvaluator(sys, true)
+		rP, err := plain.Evaluate(mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rS, err := swOnly.Evaluate(mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rF, err := full.Evaluate(mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Software-only DVS cannot beat nominal-voltage energy upward, and
+		// adding hardware scaling can only help further on the same
+		// schedule order.
+		if rS.AvgPower > rP.AvgPower+1e-12 {
+			t.Fatalf("software-only DVS increased power")
+		}
+		if rF.AvgPower > rS.AvgPower+1e-9 {
+			t.Fatalf("full DVS (%v) worse than software-only (%v)", rF.AvgPower, rS.AvgPower)
+		}
+	})
+}
+
+func TestPropertyAllocationRespectsAreaUnlessViolated(t *testing.T) {
+	forEachInstance(t, 8, 3, func(t *testing.T, sys *model.System, mapping model.Mapping) {
+		ev := NewEvaluator(sys, false)
+		res, err := ev.Evaluate(mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := range sys.App.Modes {
+			for _, pe := range sys.Arch.PEs {
+				if !pe.Class.IsHardware() {
+					continue
+				}
+				used := res.Alloc.UsedArea[m][pe.ID]
+				if res.Alloc.Violation[pe.ID] == 0 && used > pe.Area {
+					t.Fatalf("mode %d PE %s: used %d > area %d without violation",
+						m, pe.Name, used, pe.Area)
+				}
+				// Cross-check the used area against the instance table.
+				sum := 0
+				for _, tt := range sys.Lib.Types {
+					n := res.Alloc.Instances(model.ModeID(m), pe.ID, tt.ID)
+					if n == 0 {
+						continue
+					}
+					im, ok := tt.ImplOn(pe.ID)
+					if !ok {
+						t.Fatalf("allocated core for type without impl")
+					}
+					sum += n * im.Area
+				}
+				if sum != used {
+					t.Fatalf("mode %d PE %s: used area %d != instance sum %d", m, pe.Name, used, sum)
+				}
+			}
+		}
+	})
+}
+
+func TestPropertyFitnessSeparatesFeasibility(t *testing.T) {
+	forEachInstance(t, 6, 4, func(t *testing.T, sys *model.System, mapping model.Mapping) {
+		ev := NewEvaluator(sys, false)
+		res, err := ev.Evaluate(mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub := PowerUpperBound(sys)
+		if res.Feasible() {
+			if res.Fitness > ub {
+				t.Fatalf("feasible fitness %v above upper bound %v", res.Fitness, ub)
+			}
+			if math.Abs(res.Fitness-res.AvgPower) > 1e-12 {
+				t.Fatalf("feasible fitness %v != power %v", res.Fitness, res.AvgPower)
+			}
+		} else if res.Fitness <= ub {
+			t.Fatalf("infeasible fitness %v not above bound %v", res.Fitness, ub)
+		}
+	})
+}
+
+func TestPropertyEvaluationDeterministic(t *testing.T) {
+	forEachInstance(t, 5, 2, func(t *testing.T, sys *model.System, mapping model.Mapping) {
+		ev := NewEvaluator(sys, true)
+		a, err := ev.Evaluate(mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ev.Evaluate(mapping.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fitness != b.Fitness || a.AvgPower != b.AvgPower {
+			t.Fatalf("evaluation not deterministic: %v vs %v", a.Fitness, b.Fitness)
+		}
+	})
+}
+
+func TestPropertyMutationsPreserveValidity(t *testing.T) {
+	forEachInstance(t, 6, 2, func(t *testing.T, sys *model.System, mapping model.Mapping) {
+		codec, err := NewCodec(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		muts := []func(g []int, r *rand.Rand) bool{
+			codec.ShutdownMutation(),
+			codec.AreaMutation(),
+			codec.TimingMutation(),
+			codec.TransitionMutation(),
+		}
+		genome := codec.Encode(mapping)
+		for _, mut := range muts {
+			g := append([]int(nil), genome...)
+			mut(g, rng)
+			if err := codec.Decode(g).Validate(sys); err != nil {
+				t.Fatalf("mutation produced invalid mapping: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"momosyn/internal/ga"
+	"momosyn/internal/model"
+)
+
+// Options configures one synthesis run.
+type Options struct {
+	// UseDVS enables voltage scaling in the inner loop (software PEs and,
+	// via the Fig. 5 transformation, hardware cores).
+	UseDVS bool
+	// NeglectProbabilities makes the optimisation assume the uniform mode
+	// distribution (the baseline the paper compares against); the final
+	// result is still reported under the true probabilities.
+	NeglectProbabilities bool
+	// Weights are the penalty weights; zero value selects DefaultWeights.
+	Weights Weights
+	// DVSSoftwareOnly restricts voltage scaling to software processors,
+	// reproducing the prior-work DVS of [10] (ablation switch).
+	DVSSoftwareOnly bool
+	// NoReplicaCores disables replica-core allocation (ablation switch).
+	NoReplicaCores bool
+	// NoImprovementMutations disables the four problem-specific mutation
+	// operators of paper section 4.1 (ablation switch).
+	NoImprovementMutations bool
+	// RefineIterations > 0 enables per-mode stochastic schedule refinement
+	// in the inner loop (slower, occasionally tighter schedules).
+	RefineIterations int
+	// GA tunes the genetic engine; zero values select engine defaults.
+	GA ga.Config
+	// Seed seeds the run's RNG.
+	Seed int64
+}
+
+// Result is the outcome of one synthesis run.
+type Result struct {
+	// Best is the best implementation found, evaluated under the TRUE mode
+	// execution probabilities (even when the optimisation neglected them).
+	Best *Evaluation
+	// ObjectivePower is the Eq. (1) power under the probabilities the
+	// optimiser actually used (equals Best.AvgPower unless
+	// NeglectProbabilities was set).
+	ObjectivePower float64
+	// GA reports the engine statistics of the run.
+	GA *ga.Result
+	// Elapsed is the wall-clock optimisation time (the paper's "CPU time"
+	// column).
+	Elapsed time.Duration
+}
+
+// problem adapts the evaluator to the GA engine with fitness caching.
+type problem struct {
+	codec *Codec
+	eval  *Evaluator
+	cache map[string]float64
+}
+
+func (p *problem) GenomeLen() int    { return p.codec.Len() }
+func (p *problem) Alleles(i int) int { return p.codec.Alleles(i) }
+
+func (p *problem) Fitness(genome []int) float64 {
+	key := p.codec.Key(genome)
+	if f, ok := p.cache[key]; ok {
+		return f
+	}
+	ev, err := p.eval.Evaluate(p.codec.Decode(genome))
+	f := math.Inf(1)
+	if err == nil {
+		f = ev.Fitness
+	}
+	if len(p.cache) < 1<<20 {
+		p.cache[key] = f
+	}
+	return f
+}
+
+// Synthesize runs the complete co-synthesis of Fig. 4: the outer GA over
+// multi-mode mapping strings (with the four improvement mutations) around
+// the inner scheduling/DVS loop, and returns the best implementation
+// evaluated under the true mode execution probabilities.
+func Synthesize(sys *model.System, opts Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	codec, err := NewCodec(sys)
+	if err != nil {
+		return nil, err
+	}
+	w := opts.Weights
+	if w == (Weights{}) {
+		w = DefaultWeights()
+	}
+	eval := &Evaluator{
+		Sys: sys, UseDVS: opts.UseDVS, Weights: w,
+		DVSSoftwareOnly:  opts.DVSSoftwareOnly,
+		NoReplicaCores:   opts.NoReplicaCores,
+		RefineIterations: opts.RefineIterations,
+	}
+	if opts.NeglectProbabilities {
+		eval.Probs = UniformProbs(sys)
+	}
+	prob := &problem{codec: codec, eval: eval, cache: make(map[string]float64)}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var mutators []ga.Mutator
+	if !opts.NoImprovementMutations {
+		mutators = []ga.Mutator{
+			codec.ShutdownMutation(),
+			codec.AreaMutation(),
+			codec.TimingMutation(),
+			codec.TransitionMutation(),
+		}
+	}
+	start := time.Now()
+	res := ga.Run(prob, opts.GA, rng, mutators...)
+	elapsed := time.Since(start)
+
+	best, err := eval.Evaluate(codec.Decode(res.Best))
+	if err != nil {
+		return nil, err
+	}
+	objective := best.AvgPower
+	if opts.NeglectProbabilities {
+		// Report the final candidate under the true usage profile.
+		trueEval := &Evaluator{
+			Sys: sys, UseDVS: opts.UseDVS, Weights: w,
+			DVSSoftwareOnly:  opts.DVSSoftwareOnly,
+			NoReplicaCores:   opts.NoReplicaCores,
+			RefineIterations: opts.RefineIterations,
+		}
+		best, err = trueEval.Evaluate(best.Mapping)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Best:           best,
+		ObjectivePower: objective,
+		GA:             res,
+		Elapsed:        elapsed,
+	}, nil
+}
+
+// Exhaustive enumerates every mapping of the system and returns the best
+// evaluation by fitness. It is exponential in the number of tasks and is
+// intended for the paper's small motivational examples and for validating
+// the GA on tiny instances.
+func Exhaustive(sys *model.System, useDVS bool, probs []float64) (*Evaluation, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	codec, err := NewCodec(sys)
+	if err != nil {
+		return nil, err
+	}
+	space := 1
+	for k := 0; k < codec.Len(); k++ {
+		space *= codec.Alleles(k)
+		if space > 50_000_000 {
+			return nil, fmt.Errorf("synth: exhaustive search space too large (>5e7 mappings)")
+		}
+	}
+	eval := &Evaluator{Sys: sys, UseDVS: useDVS, Weights: DefaultWeights(), Probs: probs}
+	genome := make([]int, codec.Len())
+	var best *Evaluation
+	for {
+		ev, err := eval.Evaluate(codec.Decode(genome))
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || ev.Fitness < best.Fitness {
+			best = ev
+		}
+		// Odometer increment.
+		k := 0
+		for k < len(genome) {
+			genome[k]++
+			if genome[k] < codec.Alleles(k) {
+				break
+			}
+			genome[k] = 0
+			k++
+		}
+		if k == len(genome) {
+			break
+		}
+	}
+	return best, nil
+}
