@@ -1,0 +1,30 @@
+# Developer entry points. `make ci` is what the CI workflow runs.
+
+GO ?= go
+
+.PHONY: all build test race vet fuzz-smoke bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short native-fuzzing burst over the spec reader; the minimiser is capped
+# so large seed-corpus entries cannot stall the run (see scripts/ci.sh).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzRead -fuzztime=5s -fuzzminimizetime=5s ./internal/specio
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci:
+	./scripts/ci.sh

@@ -5,11 +5,14 @@
 package momosyn_test
 
 import (
+	"bytes"
+	"context"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildTools compiles every cmd/ binary into a temp dir once per test run.
@@ -106,6 +109,113 @@ func TestCLIEndToEnd(t *testing.T) {
 	figs := run(t, bin, "mmbench", "-figures")
 	if !strings.Contains(figs, "26.7158") || !strings.Contains(figs, "15.7423") {
 		t.Errorf("figure reproduction missing the paper's numbers:\n%s", figs)
+	}
+}
+
+// TestCLIGracefulInterrupt drives the run-control path end to end: a long
+// synthesis is interrupted with SIGINT, must exit 0 with a best-so-far
+// report and a checkpoint on disk, and the checkpoint must then accept a
+// -resume run (which is interrupted the same way).
+func TestCLIGracefulInterrupt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end test skipped in -short mode")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	spec := filepath.Join(work, "inst.spec")
+	ckpt := filepath.Join(work, "run.ckpt")
+	run(t, bin, "mmgen", "-seed", "5", "-o", spec)
+
+	// The run is sized to last minutes if nothing stops it; the test
+	// interrupts it as soon as the first checkpoint hits the disk.
+	longArgs := []string{"-spec", spec, "-dvs", "-pop", "32",
+		"-gens", "1000000", "-stagnation", "1000000",
+		"-checkpoint", ckpt, "-checkpoint-every", "1"}
+
+	out := interrupt(t, filepath.Join(bin, "mmsynth"), longArgs, func() bool {
+		_, err := os.Stat(ckpt)
+		return err == nil
+	})
+	if !strings.Contains(out, "status      : partial") {
+		t.Errorf("interrupted run did not report partial status:\n%s", out)
+	}
+	if extractLine(out, "average power") == "" {
+		t.Errorf("interrupted run did not report the best-so-far power:\n%s", out)
+	}
+
+	// Resume from the interrupted run's closing checkpoint. Progress shows
+	// as the checkpoint file being rewritten; then interrupt again.
+	before, err := os.Stat(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumeArgs := append(append([]string(nil), longArgs...), "-resume")
+	out = interrupt(t, filepath.Join(bin, "mmsynth"), resumeArgs, func() bool {
+		fi, err := os.Stat(ckpt)
+		return err == nil && fi.ModTime().After(before.ModTime())
+	})
+	if !strings.Contains(out, "status      : partial") || extractLine(out, "average power") == "" {
+		t.Errorf("resumed run did not continue to a best-so-far report:\n%s", out)
+	}
+}
+
+// interrupt starts the binary, waits for ready() to report observable
+// progress, sends SIGINT and asserts a clean exit 0, returning the combined
+// output.
+func interrupt(t *testing.T, bin string, args []string, ready func() bool) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for !ready() {
+		if ctx.Err() != nil {
+			cmd.Process.Kill()
+			t.Fatalf("no observable progress before timeout:\n%s", buf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("interrupted run must exit 0, got %v:\n%s", err, buf.String())
+	}
+	return buf.String()
+}
+
+// TestCLIUsageErrorsExit2 asserts the exit-code discipline: usage mistakes
+// are distinguishable (exit 2) from runtime failures (exit 1).
+func TestCLIUsageErrorsExit2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end test skipped in -short mode")
+	}
+	bin := buildTools(t)
+	cases := [][]string{
+		{"-resume"},                           // -resume without -checkpoint
+		{"-checkpoint-every", "0"},            // non-positive interval
+		{"-mapping", "x", "-checkpoint", "y"}, // incompatible modes
+		{"unexpected", "positional"},
+	}
+	for _, args := range cases {
+		cmd := exec.Command(filepath.Join(bin, "mmsynth"), args...)
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("mmsynth %v: err = %v, want exit code 2", args, err)
+		}
+	}
+
+	// A runtime failure (unreadable spec) is exit 1, not 2.
+	cmd := exec.Command(filepath.Join(bin, "mmsynth"), "-spec", "/no/such/file.spec")
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Errorf("missing spec: err = %v, want exit code 1", err)
 	}
 }
 

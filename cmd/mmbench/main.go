@@ -6,9 +6,15 @@
 //	mmbench -table 1 -reps 5
 //	mmbench -table all -reps 40      # the paper's full protocol (slow)
 //	mmbench -figures
+//
+// SIGINT/SIGTERM interrupt the experiment gracefully: in-flight synthesis
+// runs stop at their next generation boundary, already-printed rows stand,
+// and remaining cells report partial best-so-far numbers. An interrupted
+// invocation still exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +24,7 @@ import (
 	"momosyn/internal/energy"
 	"momosyn/internal/ga"
 	"momosyn/internal/model"
+	"momosyn/internal/runctl"
 	"momosyn/internal/sched"
 	"momosyn/internal/synth"
 )
@@ -36,11 +43,15 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := runctl.NotifyContext(context.Background())
+	defer stop()
+
 	cfg := bench.HarnessConfig{
 		Reps:     *reps,
 		BaseSeed: *seed,
 		Parallel: *parallel,
 		GA:       ga.Config{PopSize: *pop, MaxGenerations: *gens, Stagnation: *stag},
+		Context:  ctx,
 	}
 	if *figures {
 		if err := runFigures(); err != nil {
@@ -73,6 +84,10 @@ func main() {
 		must(bench.Table3(cfg, os.Stdout))
 	default:
 		fatal(fmt.Errorf("unknown table %q", *table))
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "mmbench: interrupted (%v) — reported numbers are partial best-so-far results\n",
+			context.Cause(ctx))
 	}
 }
 

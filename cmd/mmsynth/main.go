@@ -5,9 +5,20 @@
 //
 //	mmgen -seed 7 | mmsynth -dvs
 //	mmsynth -spec smartphone.spec -dvs -v
+//	mmsynth -spec big.spec -checkpoint run.ckpt -timeout 10m
+//	mmsynth -spec big.spec -checkpoint run.ckpt -resume
+//
+// Long runs are interruptible: SIGINT/SIGTERM stop the optimisation at the
+// next generation boundary, print the best-so-far implementation, write a
+// final checkpoint (when -checkpoint is set) and exit 0. See docs/RUNCTL.md.
+//
+// Exit codes: 0 success (including interrupted best-so-far runs), 1 runtime
+// failure, 2 usage error, 3 completed run whose best implementation is
+// infeasible.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +28,7 @@ import (
 	"momosyn/internal/ga"
 	"momosyn/internal/gantt"
 	"momosyn/internal/model"
+	"momosyn/internal/runctl"
 	"momosyn/internal/specio"
 	"momosyn/internal/synth"
 )
@@ -35,8 +47,28 @@ func main() {
 		useMap    = flag.String("mapping", "", "evaluate a saved mapping instead of synthesising")
 		showGantt = flag.Bool("gantt", false, "print text Gantt charts of the per-mode schedules")
 		svgPrefix = flag.String("svg", "", "write one SVG Gantt chart per mode to PREFIX-<mode>.svg")
+
+		checkpoint  = flag.String("checkpoint", "", "persist engine state to this file for crash recovery")
+		ckptEvery   = flag.Int("checkpoint-every", 10, "generations between checkpoints")
+		resume      = flag.Bool("resume", false, "resume the run stored in -checkpoint (same spec, seed and flags required)")
+		timeout     = flag.Duration("timeout", 0, "optimisation deadline (e.g. 10m); on expiry the best-so-far result is reported")
+		stall       = flag.Int("stall", 0, "stall watchdog: re-randomise the worst half after this many generations without improvement (0 = off)")
+		faultBudget = flag.Int("fault-budget", 64, "distinct panicking genomes tolerated before the run aborts")
 	)
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fatalUsage(fmt.Errorf("unexpected arguments %v", flag.Args()))
+	}
+	if *resume && *checkpoint == "" {
+		fatalUsage(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *useMap != "" && (*resume || *checkpoint != "") {
+		fatalUsage(fmt.Errorf("-mapping cannot be combined with -checkpoint/-resume"))
+	}
+	if *ckptEvery <= 0 {
+		fatalUsage(fmt.Errorf("-checkpoint-every must be positive"))
+	}
 
 	var in io.Reader = os.Stdin
 	if *specPath != "" {
@@ -69,18 +101,31 @@ func main() {
 		}
 		res = &synth.Result{Best: ev, ObjectivePower: ev.AvgPower, GA: &ga.Result{}}
 	} else {
+		ctx, stop := runctl.NotifyContext(context.Background())
+		defer stop()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
 		var err error
 		res, err = synth.Synthesize(sys, synth.Options{
 			UseDVS:               *useDVS,
 			NeglectProbabilities: *neglect,
 			GA:                   ga.Config{PopSize: *pop, MaxGenerations: *gens, Stagnation: *stag},
 			Seed:                 *seed,
+			Context:              ctx,
+			CheckpointPath:       *checkpoint,
+			CheckpointEvery:      *ckptEvery,
+			Resume:               *resume,
+			FaultBudget:          *faultBudget,
+			StallWindow:          *stall,
 		})
 		if err != nil {
 			fatal(err)
 		}
 	}
-	if *save != "" {
+	if *save != "" && res.Best != nil {
 		f, err := os.Create(*save)
 		if err != nil {
 			fatal(err)
@@ -95,7 +140,7 @@ func main() {
 		fmt.Printf("wrote mapping to %s\n", *save)
 	}
 	report(os.Stdout, sys, res, *verbose)
-	if *showGantt {
+	if res.Best != nil && *showGantt {
 		fmt.Println()
 		for m := range sys.App.Modes {
 			if err := gantt.WriteText(os.Stdout, sys, model.ModeID(m), res.Best.Schedules[m], 100); err != nil {
@@ -104,7 +149,7 @@ func main() {
 			fmt.Println()
 		}
 	}
-	if *svgPrefix != "" {
+	if res.Best != nil && *svgPrefix != "" {
 		for m, mode := range sys.App.Modes {
 			path := fmt.Sprintf("%s-%s.svg", *svgPrefix, mode.Name)
 			f, err := os.Create(path)
@@ -121,19 +166,57 @@ func main() {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
-	if !res.Best.Feasible() {
-		os.Exit(2)
+	// Interrupted runs exit 0: the user asked the run to stop and got the
+	// best-so-far answer. Only a COMPLETED run whose best implementation
+	// violates constraints signals infeasibility.
+	if !res.Partial && (res.Best == nil || !res.Best.Feasible()) {
+		os.Exit(3)
 	}
 }
 
+// report renders the run outcome. It must never assume a complete result:
+// interrupted or heavily faulted runs can carry a nil Best or a nil GA
+// block, and the closing report is exactly when those runs most need
+// readable output.
 func report(w io.Writer, sys *model.System, res *synth.Result, verbose bool) {
-	best := res.Best
 	fmt.Fprintf(w, "system      : %s (%d modes, %d tasks)\n",
 		sys.App.Name, len(sys.App.Modes), sys.App.TotalTasks())
+	if res == nil {
+		fmt.Fprintf(w, "status      : no result\n")
+		return
+	}
+	if res.Partial {
+		reason := ""
+		if res.GA != nil {
+			reason = res.GA.Reason
+		}
+		fmt.Fprintf(w, "status      : partial (%s) — best-so-far result below\n", reason)
+	}
+	if res.GA != nil {
+		fmt.Fprintf(w, "optimisation: %d generations, %d evaluations, %v\n",
+			res.GA.Generations, res.GA.Evaluations, res.Elapsed.Round(1e6))
+		if res.GA.Restarts > 0 {
+			fmt.Fprintf(w, "watchdog    : %d diversity-injection restart(s)\n", res.GA.Restarts)
+		}
+	}
+	if res.Cache.Hits+res.Cache.Misses > 0 {
+		fmt.Fprintf(w, "fitness cache: %d hits, %d misses (%.1f%% hit rate), %d evictions, %d/%d entries\n",
+			res.Cache.Hits, res.Cache.Misses, 100*res.Cache.HitRate(),
+			res.Cache.Evictions, res.Cache.Entries, res.Cache.Capacity)
+	}
+	if len(res.Faults) > 0 {
+		fmt.Fprintf(w, "eval faults : %d genome(s) panicked during evaluation and were marked infeasible\n", len(res.Faults))
+		for i, f := range res.Faults {
+			fmt.Fprintf(w, "  fault %d: attempts=%d panic: %s\n", i+1, f.Attempts, f.Err)
+		}
+	}
+	best := res.Best
+	if best == nil {
+		fmt.Fprintf(w, "no evaluated implementation available (run stopped before the first evaluation)\n")
+		return
+	}
 	fmt.Fprintf(w, "average power: %s (Eq. 1, true probabilities)\n", fmtPower(best.AvgPower))
 	fmt.Fprintf(w, "feasible    : %v\n", best.Feasible())
-	fmt.Fprintf(w, "optimisation: %d generations, %d evaluations, %v\n",
-		res.GA.Generations, res.GA.Evaluations, res.Elapsed.Round(1e6))
 
 	fmt.Fprintf(w, "\n%-16s %10s %12s %12s %10s\n", "mode", "prob", "dynamic", "static", "weighted")
 	for m, mode := range sys.App.Modes {
@@ -253,7 +336,17 @@ func maxUsed(ev *synth.Evaluation, pe model.PEID) int {
 	return max
 }
 
+// fatal reports a runtime failure (exit 1): I/O errors, malformed specs,
+// synthesis errors.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mmsynth:", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a command-line usage error (exit 2), matching the
+// flag package's own exit code for unparsable flags.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "mmsynth:", err)
+	flag.Usage()
+	os.Exit(2)
 }

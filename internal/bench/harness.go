@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -31,6 +32,12 @@ type HarnessConfig struct {
 	GA ga.Config
 	// Weights are the fitness penalty weights (zero = defaults).
 	Weights synth.Weights
+	// Context, when non-nil, makes the experiment interruptible: on
+	// cancellation every in-flight synthesis stops at its next generation
+	// boundary and the remaining cells finish immediately with partial
+	// best-so-far numbers. Check Context.Err() (or CellStats.PartialRuns)
+	// to tell complete tables from truncated ones.
+	Context context.Context
 }
 
 func (c HarnessConfig) withDefaults() HarnessConfig {
@@ -64,6 +71,9 @@ type CellStats struct {
 	// FeasibleRuns counts repetitions whose best candidate met every
 	// constraint.
 	FeasibleRuns, Runs int
+	// PartialRuns counts repetitions that were interrupted (cancelled
+	// context) and contributed a best-so-far rather than converged result.
+	PartialRuns int
 }
 
 // Row is one line of Table 1/2/3: probability-neglecting versus proposed.
@@ -85,6 +95,7 @@ func RunCell(sys *model.System, useDVS, neglect bool, cfg HarnessConfig) (CellSt
 		power    float64
 		elapsed  time.Duration
 		feasible bool
+		partial  bool
 		err      error
 	}
 	outs := make([]outcome, cfg.Reps)
@@ -102,6 +113,7 @@ func RunCell(sys *model.System, useDVS, neglect bool, cfg HarnessConfig) (CellSt
 				Weights:              cfg.Weights,
 				GA:                   cfg.GA,
 				Seed:                 cfg.BaseSeed + int64(r)*7919,
+				Context:              cfg.Context,
 			})
 			if err != nil {
 				outs[r] = outcome{err: err}
@@ -111,6 +123,7 @@ func RunCell(sys *model.System, useDVS, neglect bool, cfg HarnessConfig) (CellSt
 				power:    res.Best.AvgPower,
 				elapsed:  res.Elapsed,
 				feasible: res.Best.Feasible(),
+				partial:  res.Partial,
 			}
 		}(r)
 	}
@@ -131,6 +144,9 @@ func RunCell(sys *model.System, useDVS, neglect bool, cfg HarnessConfig) (CellSt
 		cs.CPUTime += o.elapsed
 		if o.feasible {
 			cs.FeasibleRuns++
+		}
+		if o.partial {
+			cs.PartialRuns++
 		}
 		cs.Runs++
 	}

@@ -9,6 +9,8 @@
 package ga
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -110,6 +112,73 @@ type Result struct {
 	Evaluations int
 	// History records the best fitness after every generation.
 	History []float64
+	// Partial is set when the run stopped before its own termination
+	// criteria: the context was cancelled, its deadline passed, or a
+	// checkpoint write failed. Best is then the best-so-far individual.
+	Partial bool
+	// Reason explains why a partial run stopped ("canceled", "deadline
+	// exceeded", a fault-budget message, ...). Empty for complete runs.
+	Reason string
+	// Restarts counts stall-watchdog diversity injections (see
+	// RunControl.StallWindow).
+	Restarts int
+}
+
+// Snapshot captures the resumable engine state at a generation boundary.
+// It is deep-copied from the engine, so holding one across generations is
+// safe. Population order is best-first (the engine keeps it sorted).
+type Snapshot struct {
+	// Generation is the number of generations completed.
+	Generation int
+	// Stagnant is the convergence counter (generations without
+	// improvement of the best individual).
+	Stagnant    int
+	Evaluations int
+	Restarts    int
+	Population  [][]int
+	Fitness     []float64
+	BestGenome  []int
+	BestFitness float64
+	History     []float64
+}
+
+// RunControl adds run-control behaviour to a run without changing Config
+// semantics: cancellation, checkpoint emission, resume, and a stall
+// watchdog. The zero value is a plain uncontrolled run.
+type RunControl struct {
+	// Context, when non-nil, is polled at every generation boundary; on
+	// cancellation or deadline the run stops and returns the best-so-far
+	// result with Partial set — never an error, never a lost run.
+	Context context.Context
+	// Resume, when non-nil, restores the engine from the snapshot instead
+	// of initialising a fresh population. The caller must pass the same
+	// Problem, Config and random stream position for the resumed run to
+	// reproduce the uninterrupted one.
+	Resume *Snapshot
+	// CheckpointEvery emits a snapshot through OnCheckpoint every that
+	// many generations (0 disables checkpointing). A final snapshot is
+	// also emitted when the run stops, whatever the reason.
+	CheckpointEvery int
+	// OnCheckpoint persists a snapshot. A returned error stops the run at
+	// this boundary with Partial set, so a full disk cannot silently run
+	// on unprotected.
+	OnCheckpoint func(*Snapshot) error
+	// StallWindow, when positive, arms the stall watchdog: after that many
+	// consecutive generations without improvement (and before the
+	// Stagnation criterion ends the run) the worst half of the population
+	// is re-randomised to re-inject diversity. It fires again every
+	// further StallWindow stalled generations.
+	StallWindow int
+	// OnRestart is notified after each diversity injection with the
+	// 1-based generation number and the total restart count.
+	OnRestart func(generation, restarts int)
+}
+
+// RunCtx is Run with cancellation: on ctx cancellation or deadline the
+// engine stops at the next generation boundary and returns the best-so-far
+// result flagged Partial.
+func RunCtx(ctx context.Context, p Problem, cfg Config, rng *rand.Rand, mutators ...Mutator) *Result {
+	return RunControlled(p, cfg, RunControl{Context: ctx}, rng, mutators...)
 }
 
 type individual struct {
@@ -130,16 +199,48 @@ type engine struct {
 // mutators are applied, each with probability cfg.ImprovementRate per
 // individual per generation, to non-elite individuals.
 func Run(p Problem, cfg Config, rng *rand.Rand, mutators ...Mutator) *Result {
+	return RunControlled(p, cfg, RunControl{}, rng, mutators...)
+}
+
+// RunControlled executes the GA under the given run control: it polls the
+// context at generation boundaries, emits checkpoints, optionally resumes
+// from a snapshot, and runs the stall watchdog. With a zero RunControl it
+// behaves exactly like Run, consuming the identical random stream.
+func RunControlled(p Problem, cfg Config, rc RunControl, rng *rand.Rand, mutators ...Mutator) *Result {
 	n := p.GenomeLen()
 	cfg = cfg.withDefaults(n)
+	ctx := rc.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e := &engine{p: p, cfg: cfg, rng: rng, muts: mutators}
-	e.initPopulation()
 
-	best := e.cloneBest()
 	res := &Result{}
+	var best individual
 	stagnant := 0
 	gen := 0
+	if rc.Resume != nil && len(rc.Resume.Population) > 0 {
+		e.restore(rc.Resume)
+		gen = rc.Resume.Generation
+		stagnant = rc.Resume.Stagnant
+		best = individual{
+			genome:  append([]int(nil), rc.Resume.BestGenome...),
+			fitness: rc.Resume.BestFitness,
+		}
+		res.History = append(res.History, rc.Resume.History...)
+		res.Restarts = rc.Resume.Restarts
+	} else {
+		e.initPopulation()
+		best = e.cloneBest()
+	}
+
+	lastCheckpoint := -1
 	for ; gen < cfg.MaxGenerations && stagnant < cfg.Stagnation; gen++ {
+		if err := ctx.Err(); err != nil {
+			res.Partial = true
+			res.Reason = cancelReason(ctx)
+			break
+		}
 		e.generation()
 		cur := e.cloneBest()
 		if cur.fitness < best.fitness-1e-15 {
@@ -149,16 +250,53 @@ func Run(p Problem, cfg Config, rng *rand.Rand, mutators ...Mutator) *Result {
 			stagnant++
 		}
 		res.History = append(res.History, best.fitness)
+		if rc.StallWindow > 0 && stagnant > 0 && stagnant%rc.StallWindow == 0 && stagnant < cfg.Stagnation {
+			e.injectDiversity()
+			res.Restarts++
+			if rc.OnRestart != nil {
+				rc.OnRestart(gen+1, res.Restarts)
+			}
+		}
 		if cfg.MinDiversity > 0 && stagnant >= cfg.Stagnation/2 && e.diversity() < cfg.MinDiversity {
 			gen++
 			break
+		}
+		if rc.CheckpointEvery > 0 && rc.OnCheckpoint != nil && (gen+1)%rc.CheckpointEvery == 0 {
+			lastCheckpoint = gen + 1
+			if err := rc.OnCheckpoint(e.snapshot(gen+1, stagnant, best, res)); err != nil {
+				res.Partial = true
+				res.Reason = "checkpoint failed: " + err.Error()
+				gen++
+				break
+			}
 		}
 	}
 	res.Best = best.genome
 	res.BestFitness = best.fitness
 	res.Generations = gen
 	res.Evaluations = e.evals
+	// A closing checkpoint captures the exact stop state, whatever ended
+	// the run, so a resume continues from the last completed generation.
+	if rc.OnCheckpoint != nil && rc.CheckpointEvery > 0 && gen != lastCheckpoint {
+		if err := rc.OnCheckpoint(e.snapshot(gen, stagnant, best, res)); err != nil && !res.Partial {
+			res.Partial = true
+			res.Reason = "checkpoint failed: " + err.Error()
+		}
+	}
 	return res
+}
+
+// cancelReason renders the context's cancellation cause for Result.Reason.
+func cancelReason(ctx context.Context) string {
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(cause, context.DeadlineExceeded):
+		return "deadline exceeded"
+	case cause == nil, errors.Is(cause, context.Canceled):
+		return "canceled"
+	default:
+		return cause.Error()
+	}
 }
 
 func (e *engine) randomGenome() []int {
@@ -178,6 +316,50 @@ func (e *engine) eval(g []int) float64 {
 func (e *engine) initPopulation() {
 	e.pop = make([]individual, e.cfg.PopSize)
 	for i := range e.pop {
+		g := e.randomGenome()
+		e.pop[i] = individual{genome: g, fitness: e.eval(g)}
+	}
+	e.sortPop()
+}
+
+// snapshot deep-copies the engine state after `gen` completed generations.
+func (e *engine) snapshot(gen, stagnant int, best individual, res *Result) *Snapshot {
+	s := &Snapshot{
+		Generation:  gen,
+		Stagnant:    stagnant,
+		Evaluations: e.evals,
+		Restarts:    res.Restarts,
+		BestGenome:  append([]int(nil), best.genome...),
+		BestFitness: best.fitness,
+		History:     append([]float64(nil), res.History...),
+		Population:  make([][]int, len(e.pop)),
+		Fitness:     make([]float64, len(e.pop)),
+	}
+	for i, ind := range e.pop {
+		s.Population[i] = append([]int(nil), ind.genome...)
+		s.Fitness[i] = ind.fitness
+	}
+	return s
+}
+
+// restore loads a snapshot's population without re-evaluating it.
+func (e *engine) restore(s *Snapshot) {
+	e.pop = make([]individual, len(s.Population))
+	for i := range s.Population {
+		e.pop[i] = individual{
+			genome:  append([]int(nil), s.Population[i]...),
+			fitness: s.Fitness[i],
+		}
+	}
+	e.evals = s.Evaluations
+	e.sortPop()
+}
+
+// injectDiversity re-randomises the worst half of the population (the
+// stall-watchdog restart), keeping the elite half intact so the best-so-far
+// trajectory never regresses.
+func (e *engine) injectDiversity() {
+	for i := len(e.pop) / 2; i < len(e.pop); i++ {
 		g := e.randomGenome()
 		e.pop[i] = individual{genome: g, fitness: e.eval(g)}
 	}

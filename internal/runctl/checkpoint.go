@@ -1,0 +1,146 @@
+package runctl
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"momosyn/internal/ga"
+)
+
+// Version is the checkpoint file format version. Load rejects files written
+// by an incompatible version instead of silently misreading them.
+const Version = 1
+
+// magic identifies checkpoint files; the trailing byte is the format
+// version so mismatches are detected before gob decoding.
+const magic = "MMSYN-CKPT\x01"
+
+// CacheCounters reports fitness-cache effectiveness for a run segment.
+type CacheCounters struct {
+	// Hits and Misses count cache lookups; Evictions counts entries dropped
+	// to keep the cache within its capacity.
+	Hits, Misses, Evictions uint64
+	// Entries is the resident entry count when the counters were captured.
+	Entries int
+	// Capacity is the configured bound.
+	Capacity int
+}
+
+// HitRate returns the fraction of lookups served from the cache.
+func (c CacheCounters) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Checkpoint is the resumable state of one synthesis run, written at
+// generation boundaries. The engine snapshot carries the population; the
+// surrounding fields pin the run identity so a checkpoint cannot silently
+// resume a different problem or configuration.
+type Checkpoint struct {
+	Version int
+	SavedAt time.Time
+	// System is the specification's system name.
+	System string
+	// GenomeLen guards against resuming with a different problem instance.
+	GenomeLen int
+	// Seed is the run seed; resuming requires the same seed.
+	Seed int64
+	// Fingerprint captures the options that shaped the search; resuming
+	// with different options would diverge from the interrupted run.
+	Fingerprint string
+	// RNGState is the Source position at the snapshot's generation
+	// boundary.
+	RNGState uint64
+	// Snapshot is the GA engine state.
+	Snapshot ga.Snapshot
+	// Cache carries the fitness-cache counters across the interruption (the
+	// cache contents themselves are recomputed, not persisted).
+	Cache CacheCounters
+	// Faults are the evaluation faults recorded so far, so the run-level
+	// fault budget keeps counting across a resume.
+	Faults []EvalFault
+}
+
+// Save writes the checkpoint atomically: it is serialised to a temporary
+// file in the destination directory, synced, and renamed over path, so a
+// crash mid-write never corrupts an existing checkpoint. Gob is used rather
+// than JSON because population fitness values are legitimately +Inf for
+// infeasible genomes, which JSON cannot represent.
+func Save(path string, cp *Checkpoint) error {
+	if cp.Version == 0 {
+		cp.Version = Version
+	}
+	if cp.SavedAt.IsZero() {
+		cp.SavedAt = time.Now()
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runctl: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriter(tmp)
+	if _, err := bw.WriteString(magic); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: checkpoint: %w", err)
+	}
+	if err := gob.NewEncoder(bw).Encode(cp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: checkpoint encode: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("runctl: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("runctl: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates a checkpoint written by Save.
+func Load(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runctl: checkpoint: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("runctl: %s is not a checkpoint file: %w", path, err)
+	}
+	if string(head[:len(magic)-1]) != magic[:len(magic)-1] {
+		return nil, fmt.Errorf("runctl: %s is not a checkpoint file", path)
+	}
+	if head[len(magic)-1] != magic[len(magic)-1] {
+		return nil, fmt.Errorf("runctl: checkpoint %s has format version %d, this build reads version %d",
+			path, head[len(magic)-1], magic[len(magic)-1])
+	}
+	cp := &Checkpoint{}
+	if err := gob.NewDecoder(br).Decode(cp); err != nil {
+		return nil, fmt.Errorf("runctl: checkpoint decode: %w", err)
+	}
+	if cp.Version != Version {
+		return nil, fmt.Errorf("runctl: checkpoint version %d unsupported (want %d)", cp.Version, Version)
+	}
+	if len(cp.Snapshot.Population) == 0 {
+		return nil, fmt.Errorf("runctl: checkpoint %s holds an empty population", path)
+	}
+	return cp, nil
+}

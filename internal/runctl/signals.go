@@ -1,0 +1,32 @@
+package runctl
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// NotifyContext returns a child of parent that is cancelled (with the
+// signal as cancellation cause) on the first SIGINT or SIGTERM, letting a
+// run stop at the next generation boundary and report its best-so-far
+// result. A second signal restores the default handler, so pressing ^C
+// twice force-kills a run that is stuck inside a long evaluation.
+func NotifyContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancelCause(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			// From now on the default disposition applies: a second
+			// signal terminates the process immediately.
+			signal.Reset(os.Interrupt, syscall.SIGTERM)
+			cancel(fmt.Errorf("received %v", sig))
+		case <-ctx.Done():
+			signal.Stop(ch)
+		}
+	}()
+	return ctx, func() { cancel(context.Canceled) }
+}

@@ -33,10 +33,16 @@ import (
 	"momosyn/internal/model"
 )
 
-// Read parses a specification and returns the validated system.
+// Read parses a specification and returns the validated system. Every
+// parse error carries the 1-based input line number; only whole-spec
+// semantic errors (probability sums, graph cycles, ...) are reported
+// without one.
 func Read(r io.Reader) (*model.System, error) {
 	p := &parser{
-		types: make(map[string]*typeDecl),
+		types:  make(map[string]*typeDecl),
+		peSet:  make(map[string]bool),
+		clSet:  make(map[string]bool),
+		modeBy: make(map[string]*modeDecl),
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -56,7 +62,9 @@ func Read(r io.Reader) (*model.System, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("specio: %w", err)
+		// The scanner stops at the offending line (e.g. one longer than
+		// the buffer), which is the line after the last accepted one.
+		return nil, fmt.Errorf("specio: line %d: %w", line+1, err)
 	}
 	return p.finish()
 }
@@ -71,6 +79,11 @@ type parser struct {
 	types     map[string]*typeDecl
 	modes     []*modeDecl
 	trans     []transDecl
+	// peSet/clSet/modeBy index declared names so reference and duplicate
+	// errors are caught while the line number is still known.
+	peSet  map[string]bool
+	clSet  map[string]bool
+	modeBy map[string]*modeDecl
 }
 
 type peDecl struct{ pe model.PE }
@@ -89,6 +102,7 @@ type modeDecl struct {
 	prob, period float64
 	tasks        []taskDecl
 	edges        []edgeDecl
+	taskSet      map[string]bool
 }
 
 type taskDecl struct {
@@ -163,6 +177,9 @@ func (p *parser) parsePE(fields []string) error {
 	if err != nil {
 		return err
 	}
+	if p.peSet[fields[1]] {
+		return fmt.Errorf("duplicate pe %q", fields[1])
+	}
 	pe := model.PE{Name: fields[1], Vmax: 3.3, Vt: 0.8}
 	for k, v := range attrs {
 		switch k {
@@ -214,6 +231,7 @@ func (p *parser) parsePE(fields []string) error {
 		}
 	}
 	p.pes = append(p.pes, peDecl{pe: pe})
+	p.peSet[pe.Name] = true
 	return nil
 }
 
@@ -224,6 +242,9 @@ func (p *parser) parseCL(fields []string) error {
 	attrs, err := kvs(fields[2:])
 	if err != nil {
 		return err
+	}
+	if p.clSet[fields[1]] {
+		return fmt.Errorf("duplicate cl %q", fields[1])
 	}
 	d := clDecl{cl: model.CL{Name: fields[1]}}
 	for k, v := range attrs {
@@ -242,11 +263,17 @@ func (p *parser) parseCL(fields []string) error {
 			}
 		case "pes":
 			d.pes = strings.Split(v, ",")
+			for _, n := range d.pes {
+				if !p.peSet[n] {
+					return fmt.Errorf("cl %q attaches undeclared pe %q", d.cl.Name, n)
+				}
+			}
 		default:
 			return fmt.Errorf("unknown cl attribute %q", k)
 		}
 	}
 	p.cls = append(p.cls, d)
+	p.clSet[d.cl.Name] = true
 	return nil
 }
 
@@ -257,6 +284,9 @@ func (p *parser) parseImpl(fields []string) error {
 	td, ok := p.types[fields[1]]
 	if !ok {
 		return fmt.Errorf("impl for undeclared type %q", fields[1])
+	}
+	if !p.peSet[fields[2]] {
+		return fmt.Errorf("impl of type %q on undeclared pe %q", fields[1], fields[2])
 	}
 	attrs, err := kvs(fields[3:])
 	if err != nil {
@@ -293,7 +323,10 @@ func (p *parser) parseMode(fields []string) error {
 	if err != nil {
 		return err
 	}
-	d := &modeDecl{name: fields[1]}
+	if p.modeBy[fields[1]] != nil {
+		return fmt.Errorf("duplicate mode %q", fields[1])
+	}
+	d := &modeDecl{name: fields[1], taskSet: make(map[string]bool)}
 	for k, v := range attrs {
 		switch k {
 		case "prob":
@@ -309,17 +342,11 @@ func (p *parser) parseMode(fields []string) error {
 		}
 	}
 	p.modes = append(p.modes, d)
+	p.modeBy[d.name] = d
 	return nil
 }
 
-func (p *parser) mode(name string) *modeDecl {
-	for _, m := range p.modes {
-		if m.name == name {
-			return m
-		}
-	}
-	return nil
-}
+func (p *parser) mode(name string) *modeDecl { return p.modeBy[name] }
 
 func (p *parser) parseTask(fields []string) error {
 	if len(fields) < 4 {
@@ -349,7 +376,14 @@ func (p *parser) parseTask(fields []string) error {
 	if td.typ == "" {
 		return fmt.Errorf("task %q needs a type", td.name)
 	}
+	if _, ok := p.types[td.typ]; !ok {
+		return fmt.Errorf("task %q uses undeclared type %q", td.name, td.typ)
+	}
+	if m.taskSet[td.name] {
+		return fmt.Errorf("duplicate task %q in mode %q", td.name, m.name)
+	}
 	m.tasks = append(m.tasks, td)
+	m.taskSet[td.name] = true
 	return nil
 }
 
@@ -362,6 +396,12 @@ func (p *parser) parseEdge(fields []string) error {
 		return fmt.Errorf("edge in undeclared mode %q", fields[1])
 	}
 	ed := edgeDecl{src: fields[2], dst: fields[3]}
+	if !m.taskSet[ed.src] {
+		return fmt.Errorf("edge references undeclared task %q in mode %q", ed.src, m.name)
+	}
+	if !m.taskSet[ed.dst] {
+		return fmt.Errorf("edge references undeclared task %q in mode %q", ed.dst, m.name)
+	}
 	if len(fields) > 4 {
 		attrs, err := kvs(fields[4:])
 		if err != nil {
@@ -389,6 +429,12 @@ func (p *parser) parseTransition(fields []string) error {
 		return fmt.Errorf("transition needs: transition FROM TO [max=T]")
 	}
 	td := transDecl{from: fields[1], to: fields[2]}
+	if p.mode(td.from) == nil {
+		return fmt.Errorf("transition from undeclared mode %q", td.from)
+	}
+	if p.mode(td.to) == nil {
+		return fmt.Errorf("transition to undeclared mode %q", td.to)
+	}
 	if len(fields) > 3 {
 		attrs, err := kvs(fields[3:])
 		if err != nil {

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,7 +9,15 @@ import (
 
 	"momosyn/internal/ga"
 	"momosyn/internal/model"
+	"momosyn/internal/runctl"
 )
+
+// FitnessCacheCap bounds the fitness cache of one synthesis run. Beyond
+// this many distinct genomes the oldest entries are evicted FIFO; the run
+// keeps going at full correctness (fitness is deterministic), it merely
+// re-evaluates. The bound and the hit/miss/evict counters in Result.Cache
+// replace the old silent insert-stop at the same size.
+const FitnessCacheCap = 1 << 20
 
 // Options configures one synthesis run.
 type Options struct {
@@ -36,6 +45,44 @@ type Options struct {
 	GA ga.Config
 	// Seed seeds the run's RNG.
 	Seed int64
+
+	// Context, when non-nil, bounds the run: on cancellation or deadline
+	// the engine stops at the next generation boundary and Synthesize
+	// returns the best-so-far implementation with Result.Partial set —
+	// graceful degradation instead of a lost run.
+	Context context.Context
+	// CheckpointPath, when set, persists the engine state to this file
+	// every CheckpointEvery generations (atomic write-rename) and once
+	// more when the run stops, so a killed run can be resumed.
+	CheckpointPath string
+	// CheckpointEvery is the generation interval between checkpoints
+	// (default 10 when CheckpointPath is set).
+	CheckpointEvery int
+	// Resume restores the run from CheckpointPath instead of starting
+	// fresh. The spec, seed and options must match the checkpointed run;
+	// the resumed run then converges to the same result as an
+	// uninterrupted one.
+	Resume bool
+	// FaultBudget is the number of distinct genomes whose evaluation may
+	// panic before the run aborts cleanly with a fault report (default
+	// 64). Each faulting genome is retried once, then marked infeasible.
+	FaultBudget int
+	// StallWindow, when positive, re-randomises the worst half of the
+	// population after that many generations without improvement (the
+	// stall watchdog); Result.GA.Restarts counts the injections.
+	StallWindow int
+
+	// evalHook, when set, runs before every uncached fitness evaluation
+	// (test seam for fault injection).
+	evalHook func(genome []int)
+}
+
+// fingerprint pins the options that shape the search trajectory, so a
+// checkpoint refuses to resume under a different configuration.
+func (o Options) fingerprint() string {
+	return fmt.Sprintf("dvs=%v neglect=%v swonly=%v norep=%v nomut=%v refine=%d ga=%+v w=%+v stall=%d",
+		o.UseDVS, o.NeglectProbabilities, o.DVSSoftwareOnly, o.NoReplicaCores,
+		o.NoImprovementMutations, o.RefineIterations, o.GA, o.Weights, o.StallWindow)
 }
 
 // Result is the outcome of one synthesis run.
@@ -52,13 +99,29 @@ type Result struct {
 	// Elapsed is the wall-clock optimisation time (the paper's "CPU time"
 	// column).
 	Elapsed time.Duration
+	// Partial mirrors GA.Partial: the run was interrupted (cancellation,
+	// deadline, fault budget, checkpoint failure) and Best is the
+	// best-so-far implementation. GA.Reason says why.
+	Partial bool
+	// Cache reports fitness-cache effectiveness over the run.
+	Cache runctl.CacheCounters
+	// Faults lists the genomes whose evaluation panicked; they were marked
+	// infeasible and the run continued.
+	Faults []runctl.EvalFault
 }
 
-// problem adapts the evaluator to the GA engine with fitness caching.
+// problem adapts the evaluator to the GA engine with a bounded,
+// instrumented fitness cache (FIFO eviction at FitnessCacheCap entries).
 type problem struct {
 	codec *Codec
 	eval  *Evaluator
 	cache map[string]float64
+	// order is the FIFO insertion queue backing eviction; head indexes the
+	// oldest resident entry.
+	order []string
+	head  int
+	stats runctl.CacheCounters
+	hook  func(genome []int)
 }
 
 func (p *problem) GenomeLen() int    { return p.codec.Len() }
@@ -67,23 +130,45 @@ func (p *problem) Alleles(i int) int { return p.codec.Alleles(i) }
 func (p *problem) Fitness(genome []int) float64 {
 	key := p.codec.Key(genome)
 	if f, ok := p.cache[key]; ok {
+		p.stats.Hits++
 		return f
+	}
+	p.stats.Misses++
+	if p.hook != nil {
+		p.hook(genome)
 	}
 	ev, err := p.eval.Evaluate(p.codec.Decode(genome))
 	f := math.Inf(1)
 	if err == nil {
 		f = ev.Fitness
 	}
-	if len(p.cache) < 1<<20 {
-		p.cache[key] = f
+	if len(p.cache) >= FitnessCacheCap {
+		delete(p.cache, p.order[p.head])
+		p.order[p.head] = "" // release the key for GC
+		p.head++
+		p.stats.Evictions++
 	}
+	p.cache[key] = f
+	p.order = append(p.order, key)
 	return f
+}
+
+// counters captures the cache statistics at this instant.
+func (p *problem) counters() runctl.CacheCounters {
+	c := p.stats
+	c.Entries = len(p.cache)
+	c.Capacity = FitnessCacheCap
+	return c
 }
 
 // Synthesize runs the complete co-synthesis of Fig. 4: the outer GA over
 // multi-mode mapping strings (with the four improvement mutations) around
 // the inner scheduling/DVS loop, and returns the best implementation
 // evaluated under the true mode execution probabilities.
+//
+// With Options.Context the run is cancellable; with Options.CheckpointPath
+// it is resumable; panicking evaluations are contained and reported in
+// Result.Faults. See docs/RUNCTL.md.
 func Synthesize(sys *model.System, opts Options) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
@@ -105,8 +190,71 @@ func Synthesize(sys *model.System, opts Options) (*Result, error) {
 	if opts.NeglectProbabilities {
 		eval.Probs = UniformProbs(sys)
 	}
-	prob := &problem{codec: codec, eval: eval, cache: make(map[string]float64)}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	prob := &problem{codec: codec, eval: eval, cache: make(map[string]float64), hook: opts.evalHook}
+
+	// Checkpointable runs draw from a serialisable source so the stream
+	// position can be stored and restored exactly; plain runs keep the
+	// historical math/rand stream for bit-identical legacy behaviour.
+	var src *runctl.Source
+	var rng *rand.Rand
+	if opts.CheckpointPath != "" {
+		src = runctl.NewSource(opts.Seed)
+		rng = rand.New(src)
+	} else {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+
+	parent := opts.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancelCause(parent)
+	defer cancel(nil)
+
+	guard := runctl.NewGuard(prob, runctl.GuardConfig{
+		FaultBudget:      opts.FaultBudget,
+		OnBudgetExceeded: func(err error) { cancel(err) },
+	})
+
+	rc := ga.RunControl{Context: ctx, StallWindow: opts.StallWindow}
+	if opts.CheckpointPath != "" {
+		every := opts.CheckpointEvery
+		if every <= 0 {
+			every = 10
+		}
+		rc.CheckpointEvery = every
+		rc.OnCheckpoint = func(s *ga.Snapshot) error {
+			return runctl.Save(opts.CheckpointPath, &runctl.Checkpoint{
+				System:      sys.App.Name,
+				GenomeLen:   codec.Len(),
+				Seed:        opts.Seed,
+				Fingerprint: opts.fingerprint(),
+				RNGState:    src.State(),
+				Snapshot:    *s,
+				Cache:       prob.counters(),
+				Faults:      guard.Faults(),
+			})
+		}
+	}
+	if opts.Resume {
+		if opts.CheckpointPath == "" {
+			return nil, fmt.Errorf("synth: Resume requires CheckpointPath")
+		}
+		cp, err := runctl.Load(opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkResumable(cp, sys, codec, opts); err != nil {
+			return nil, err
+		}
+		src.Restore(cp.RNGState)
+		snap := cp.Snapshot
+		rc.Resume = &snap
+		guard.Restore(cp.Faults)
+		prob.stats = runctl.CacheCounters{
+			Hits: cp.Cache.Hits, Misses: cp.Cache.Misses, Evictions: cp.Cache.Evictions,
+		}
+	}
 
 	var mutators []ga.Mutator
 	if !opts.NoImprovementMutations {
@@ -118,10 +266,10 @@ func Synthesize(sys *model.System, opts Options) (*Result, error) {
 		}
 	}
 	start := time.Now()
-	res := ga.Run(prob, opts.GA, rng, mutators...)
+	res := ga.RunControlled(guard, opts.GA, rc, rng, mutators...)
 	elapsed := time.Since(start)
 
-	best, err := eval.Evaluate(codec.Decode(res.Best))
+	best, err := safeEvaluate(eval, codec.Decode(res.Best))
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +282,7 @@ func Synthesize(sys *model.System, opts Options) (*Result, error) {
 			NoReplicaCores:   opts.NoReplicaCores,
 			RefineIterations: opts.RefineIterations,
 		}
-		best, err = trueEval.Evaluate(best.Mapping)
+		best, err = safeEvaluate(trueEval, best.Mapping)
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +292,41 @@ func Synthesize(sys *model.System, opts Options) (*Result, error) {
 		ObjectivePower: objective,
 		GA:             res,
 		Elapsed:        elapsed,
+		Partial:        res.Partial,
+		Cache:          prob.counters(),
+		Faults:         guard.Faults(),
 	}, nil
+}
+
+// checkResumable verifies a checkpoint belongs to this (spec, seed,
+// options) triple before the engine trusts its population.
+func checkResumable(cp *runctl.Checkpoint, sys *model.System, codec *Codec, opts Options) error {
+	if cp.System != sys.App.Name {
+		return fmt.Errorf("synth: checkpoint is for system %q, not %q", cp.System, sys.App.Name)
+	}
+	if cp.GenomeLen != codec.Len() {
+		return fmt.Errorf("synth: checkpoint genome length %d does not match specification (%d tasks)",
+			cp.GenomeLen, codec.Len())
+	}
+	if cp.Seed != opts.Seed {
+		return fmt.Errorf("synth: checkpoint was written with seed %d, run uses seed %d", cp.Seed, opts.Seed)
+	}
+	if fp := opts.fingerprint(); cp.Fingerprint != fp {
+		return fmt.Errorf("synth: checkpoint options %q do not match run options %q", cp.Fingerprint, fp)
+	}
+	return nil
+}
+
+// safeEvaluate evaluates the final mapping behind a recover barrier: after
+// a partial run the best-so-far genome could in principle be one whose
+// evaluation faults, and the closing report must survive that.
+func safeEvaluate(eval *Evaluator, m model.Mapping) (ev *Evaluation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ev, err = nil, fmt.Errorf("synth: final evaluation panicked: %v", r)
+		}
+	}()
+	return eval.Evaluate(m)
 }
 
 // Exhaustive enumerates every mapping of the system and returns the best

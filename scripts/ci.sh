@@ -1,0 +1,23 @@
+#!/bin/sh
+# ci.sh — the full verification pipeline, runnable locally and in CI.
+# Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+# Fuzz smoke: a short native-fuzzing burst over the spec reader. The
+# minimise time must be capped — the default 60s minimiser can dwarf the
+# fuzz time itself on the ~30KB seed corpus entries.
+echo "==> fuzz smoke (specio.FuzzRead)"
+go test -run='^$' -fuzz=FuzzRead -fuzztime=5s -fuzzminimizetime=5s ./internal/specio
+
+echo "==> OK"
