@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz-smoke bench ci
+.PHONY: all build test race vet fuzz-smoke certify bench ci
 
 all: build
 
@@ -18,10 +18,18 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Short native-fuzzing burst over the spec reader; the minimiser is capped
-# so large seed-corpus entries cannot stall the run (see scripts/ci.sh).
+# Short native-fuzzing bursts over the untrusted-input readers (spec files
+# and checkpoints); the minimiser is capped so large seed-corpus entries
+# cannot stall the run (see scripts/ci.sh).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRead -fuzztime=5s -fuzzminimizetime=5s ./internal/specio
+	$(GO) test -run='^$$' -fuzz=FuzzCheckpoint -fuzztime=5s -fuzzminimizetime=5s ./internal/runctl
+
+# Oracle-check the whole benchmark suite: every spec through
+# `mmsynth -certify` at a small GA budget, plus a fault-injection negative
+# control that must exit 4. See docs/VERIFY.md.
+certify:
+	./scripts/certify.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -219,6 +219,107 @@ func TestCLIUsageErrorsExit2(t *testing.T) {
 	}
 }
 
+// runExit runs the tool and returns its combined output and exit code;
+// extra environment entries (KEY=VALUE) are appended to the inherited one.
+func runExit(t *testing.T, dir, tool string, env []string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestCLICertifyExitCodes pins the full exit-code contract around the
+// certifier: clean -certify runs exit 0, injected faults exit 4, honest
+// infeasibility stays 3 (with or without -certify), corrupted inputs stay
+// 1, and usage errors stay 2.
+func TestCLICertifyExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end test skipped in -short mode")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	spec := filepath.Join(work, "inst.spec")
+	run(t, bin, "mmgen", "-seed", "5", "-o", spec)
+	gaArgs := []string{"-pop", "16", "-gens", "40", "-stagnation", "15"}
+
+	// Clean certify run: exit 0 and a visible certification line.
+	args := append([]string{"-spec", spec, "-dvs", "-certify"}, gaArgs...)
+	out, code := runExit(t, bin, "mmsynth", nil, args...)
+	if code != 0 || !strings.Contains(out, "certification: certified") {
+		t.Fatalf("clean -certify run: exit %d, output:\n%s", code, out)
+	}
+
+	// Each injected fault class must be caught and exit 4.
+	for _, class := range []string{"energy", "precedence", "area"} {
+		out, code := runExit(t, bin, "mmsynth", []string{"MMSYNTH_FAULT_INJECT=" + class}, args...)
+		if code != 4 {
+			t.Errorf("fault %q: exit %d, want 4\n%s", class, code, out)
+		}
+		if !strings.Contains(out, "["+class+"]") {
+			t.Errorf("fault %q: violation kind not reported:\n%s", class, out)
+		}
+	}
+	// An unknown class is a runtime failure, not a silent pass.
+	if _, code := runExit(t, bin, "mmsynth", []string{"MMSYNTH_FAULT_INJECT=bogus"}, args...); code != 1 {
+		t.Errorf("unknown fault class: exit %d, want 1", code)
+	}
+
+	// Honest infeasibility: a deadline shorter than the only execution
+	// time exits 3, and -certify agrees with the infeasibility claim.
+	tight := filepath.Join(work, "tight.spec")
+	tightSpec := "system tight\npe cpu class=gpp static=1mW\ncl bus bw=1MB/s pes=cpu\n" +
+		"type t\nimpl t cpu time=10ms power=1mW\nmode m prob=1 period=20ms\ntask m a type=t deadline=1ms\n"
+	if err := os.WriteFile(tight, []byte(tightSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := runExit(t, bin, "mmsynth", nil, "-spec", tight, "-pop", "8", "-gens", "5", "-stagnation", "3"); code != 3 {
+		t.Errorf("infeasible run: exit %d, want 3", code)
+	}
+	out, code = runExit(t, bin, "mmsynth", nil, "-spec", tight, "-certify", "-pop", "8", "-gens", "5", "-stagnation", "3")
+	if code != 3 {
+		t.Errorf("infeasible -certify run: exit %d, want 3 (honest infeasibility certifies)\n%s", code, out)
+	}
+
+	// Corrupted inputs are runtime failures (exit 1) with a diagnostic.
+	garbage := filepath.Join(work, "garbage.ckpt")
+	if err := os.WriteFile(garbage, []byte("MMSYN-CKPT\x01not a gob payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runExit(t, bin, "mmsynth", nil,
+		"-spec", spec, "-checkpoint", garbage, "-resume", "-pop", "8", "-gens", "5")
+	if code != 1 || !strings.Contains(out, garbage) {
+		t.Errorf("corrupt checkpoint: exit %d (want 1), path named: %v\n%s",
+			code, strings.Contains(out, garbage), out)
+	}
+	binary := filepath.Join(work, "binary.spec")
+	if err := os.WriteFile(binary, []byte{0x7f, 'E', 'L', 'F', 0, 1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := runExit(t, bin, "mmsynth", nil, "-spec", binary); code != 1 {
+		t.Errorf("binary spec: exit %d, want 1", code)
+	}
+
+	// Usage errors remain exit 2 with -certify in the mix.
+	if _, code := runExit(t, bin, "mmsynth", nil, "-certify", "-resume"); code != 2 {
+		t.Errorf("usage error with -certify: exit %d, want 2", code)
+	}
+
+	// mmsim certifies the same implementation before simulating.
+	out, code = runExit(t, bin, "mmsim", nil, "-spec", spec, "-dvs", "-certify",
+		"-pop", "16", "-gens", "40", "-horizon", "30")
+	if code != 0 || !strings.Contains(out, "certification") {
+		t.Errorf("mmsim -certify: exit %d, output:\n%s", code, out)
+	}
+}
+
 // extractLine returns the trimmed remainder of the first line containing
 // the prefix.
 func extractLine(out, prefix string) string {

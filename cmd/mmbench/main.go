@@ -11,10 +11,15 @@
 // runs stop at their next generation boundary, already-printed rows stand,
 // and remaining cells report partial best-so-far numbers. An interrupted
 // invocation still exits 0.
+//
+// With -certify every repetition's result is re-checked by the independent
+// internal/verify certifier before it can enter a table; a refused
+// certification aborts the experiment with exit code 4 (see docs/VERIFY.md).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +45,7 @@ func main() {
 		gens     = flag.Int("gens", 300, "GA generation limit")
 		stag     = flag.Int("stagnation", 80, "GA stagnation limit")
 		parallel = flag.Int("parallel", 4, "concurrent synthesis runs per cell")
+		certify  = flag.Bool("certify", false, "independently certify every repetition's result; a refused certification exits 4")
 	)
 	flag.Parse()
 
@@ -52,6 +58,7 @@ func main() {
 		Parallel: *parallel,
 		GA:       ga.Config{PopSize: *pop, MaxGenerations: *gens, Stagnation: *stag},
 		Context:  ctx,
+		Certify:  *certify,
 	}
 	if *figures {
 		if err := runFigures(); err != nil {
@@ -180,7 +187,12 @@ func runAblation(cfg bench.HarnessConfig) error {
 	return nil
 }
 
+// fatal maps failures to the exit-code contract: a result the certifier
+// refused exits 4, every other runtime failure exits 1.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mmbench:", err)
+	if errors.Is(err, bench.ErrCertification) {
+		os.Exit(4)
+	}
 	os.Exit(1)
 }

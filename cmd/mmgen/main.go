@@ -13,6 +13,11 @@
 // Render the smart phone's OMSM and task graphs:
 //
 //	mmgen -smartphone -dot | dot -Tsvg > phone.svg
+//
+// Lint an existing spec file (parse errors and semantic warnings with line
+// numbers, without running any synthesis):
+//
+//	mmgen -lint edited.spec
 package main
 
 import (
@@ -41,8 +46,14 @@ func main() {
 		out   = flag.String("o", "", "output file (default: stdout)")
 		dot   = flag.Bool("dot", false, "emit Graphviz DOT instead of the spec format")
 		stats = flag.Bool("stats", false, "print instance statistics instead of the spec")
+		lint  = flag.String("lint", "", "parse the given spec file and report errors and semantic warnings")
 	)
 	flag.Parse()
+
+	if *lint != "" {
+		lintSpec(*lint)
+		return
+	}
 
 	if *muls {
 		for i := 1; i <= bench.NumMuls; i++ {
@@ -94,6 +105,25 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// lintSpec parses the file and reports what a synthesis run would see:
+// the first parse error (exit 1) or the semantic lint warnings.
+func lintSpec(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	sys, warns, err := specio.ReadWarn(f)
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range warns {
+		fmt.Println(w)
+	}
+	fmt.Printf("%s: ok — system %s (%d modes, %d tasks, %d warning(s))\n",
+		path, sys.App.Name, len(sys.App.Modes), sys.App.TotalTasks(), len(warns))
 }
 
 // emit writes through fn to the file, or stdout when path is empty.

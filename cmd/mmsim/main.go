@@ -6,6 +6,10 @@
 // average power is compared with the analytical Eq. (1) prediction.
 //
 //	mmgen -smartphone | mmsim -dvs -horizon 3600
+//
+// With -certify the implementation is re-checked by the independent
+// internal/verify certifier before simulation; a refused certification
+// exits 4 (see docs/VERIFY.md).
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"momosyn/internal/sim"
 	"momosyn/internal/specio"
 	"momosyn/internal/synth"
+	"momosyn/internal/verify"
 )
 
 func main() {
@@ -33,6 +38,7 @@ func main() {
 		useMap    = flag.String("mapping", "", "simulate a saved mapping instead of synthesising")
 		useTrace  = flag.String("trace", "", "replay a recorded trace file instead of generating one")
 		saveTrace = flag.String("save-trace", "", "record the generated trace to this file")
+		certify   = flag.Bool("certify", false, "independently certify the implementation before simulating; refused certification exits 4")
 	)
 	flag.Parse()
 
@@ -45,9 +51,12 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	sys, err := specio.Read(in)
+	sys, warns, err := specio.ReadWarn(in)
 	if err != nil {
 		fatal(err)
+	}
+	for _, w := range warns {
+		fmt.Fprintln(os.Stderr, "mmsim:", w)
 	}
 
 	var impl *synth.Evaluation
@@ -76,6 +85,13 @@ func main() {
 			fatal(err)
 		}
 		impl = res.Best
+	}
+	if *certify {
+		rep := synth.CertifyEvaluation(sys, impl, nil, verify.Options{})
+		fmt.Printf("certification   : %s\n", rep)
+		if !rep.Certified() {
+			os.Exit(4)
+		}
 	}
 
 	var trace sim.Trace

@@ -12,9 +12,13 @@
 // next generation boundary, print the best-so-far implementation, write a
 // final checkpoint (when -checkpoint is set) and exit 0. See docs/RUNCTL.md.
 //
+// With -certify the final implementation is re-checked by the independent
+// internal/verify certifier (see docs/VERIFY.md); a result the certifier
+// refuses makes the run exit 4.
+//
 // Exit codes: 0 success (including interrupted best-so-far runs), 1 runtime
 // failure, 2 usage error, 3 completed run whose best implementation is
-// infeasible.
+// infeasible, 4 certification failure.
 package main
 
 import (
@@ -31,6 +35,8 @@ import (
 	"momosyn/internal/runctl"
 	"momosyn/internal/specio"
 	"momosyn/internal/synth"
+	"momosyn/internal/verify"
+	"momosyn/internal/verify/faultinj"
 )
 
 func main() {
@@ -54,6 +60,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "optimisation deadline (e.g. 10m); on expiry the best-so-far result is reported")
 		stall       = flag.Int("stall", 0, "stall watchdog: re-randomise the worst half after this many generations without improvement (0 = off)")
 		faultBudget = flag.Int("fault-budget", 64, "distinct panicking genomes tolerated before the run aborts")
+		certify     = flag.Bool("certify", false, "independently certify the final implementation; refused certification exits 4")
 	)
 	flag.Parse()
 
@@ -79,9 +86,12 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	sys, err := specio.Read(in)
+	sys, warns, err := specio.ReadWarn(in)
 	if err != nil {
 		fatal(err)
+	}
+	for _, w := range warns {
+		fmt.Fprintln(os.Stderr, "mmsynth:", w)
 	}
 
 	var res *synth.Result
@@ -169,8 +179,26 @@ func main() {
 	// Interrupted runs exit 0: the user asked the run to stop and got the
 	// best-so-far answer. Only a COMPLETED run whose best implementation
 	// violates constraints signals infeasibility.
+	exit := 0
 	if !res.Partial && (res.Best == nil || !res.Best.Feasible()) {
-		os.Exit(3)
+		exit = 3
+	}
+	if *certify {
+		// MMSYNTH_FAULT_INJECT corrupts the result before certification —
+		// the test hook proving a refused certification reaches exit 4.
+		if class := os.Getenv("MMSYNTH_FAULT_INJECT"); class != "" && res.Best != nil {
+			if _, err := faultinj.Apply(class, sys, res.Best); err != nil {
+				fatal(err)
+			}
+		}
+		rep := synth.CertifyEvaluation(sys, res.Best, nil, verify.Options{})
+		fmt.Printf("\ncertification: %s\n", rep)
+		if !rep.Certified() {
+			exit = 4
+		}
+	}
+	if exit != 0 {
+		os.Exit(exit)
 	}
 }
 

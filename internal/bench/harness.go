@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -12,6 +13,11 @@ import (
 	"momosyn/internal/model"
 	"momosyn/internal/synth"
 )
+
+// ErrCertification marks a table cell whose synthesis result the
+// independent certifier refused; callers distinguish it with errors.Is to
+// map it to the dedicated exit code.
+var ErrCertification = errors.New("bench: result failed certification")
 
 // HarnessConfig tunes an experiment run. The paper averaged 40 optimisation
 // runs per cell; the default here is smaller so the full suite stays
@@ -38,6 +44,11 @@ type HarnessConfig struct {
 	// best-so-far numbers. Check Context.Err() (or CellStats.PartialRuns)
 	// to tell complete tables from truncated ones.
 	Context context.Context
+	// Certify runs the independent internal/verify certifier on every
+	// repetition's result; a refused certification fails the cell with an
+	// error wrapping ErrCertification, so no uncertified number can reach
+	// a results table.
+	Certify bool
 }
 
 func (c HarnessConfig) withDefaults() HarnessConfig {
@@ -107,16 +118,26 @@ func RunCell(sys *model.System, useDVS, neglect bool, cfg HarnessConfig) (CellSt
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			seed := cfg.BaseSeed + int64(r)*7919
 			res, err := synth.Synthesize(sys, synth.Options{
 				UseDVS:               useDVS,
 				NeglectProbabilities: neglect,
 				Weights:              cfg.Weights,
 				GA:                   cfg.GA,
-				Seed:                 cfg.BaseSeed + int64(r)*7919,
+				Seed:                 seed,
 				Context:              cfg.Context,
+				Certify:              cfg.Certify,
 			})
 			if err != nil {
 				outs[r] = outcome{err: err}
+				return
+			}
+			if rep := res.Certification; rep != nil && !rep.Certified() {
+				detail := "no violations recorded"
+				if len(rep.Violations) > 0 {
+					detail = rep.Violations[0].String()
+				}
+				outs[r] = outcome{err: fmt.Errorf("%w (seed %d: %s)", ErrCertification, seed, detail)}
 				return
 			}
 			outs[r] = outcome{

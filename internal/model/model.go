@@ -419,6 +419,30 @@ func (o *OMSM) Mode(id ModeID) *Mode {
 	return o.Modes[id]
 }
 
+// ReachableFrom returns, per mode, whether the mode can be reached from
+// start by following the declared transitions (start itself is reachable).
+// An operational mode the state machine can never enter is almost always a
+// specification mistake; specio rejects it at parse time.
+func (o *OMSM) ReachableFrom(start ModeID) []bool {
+	seen := make([]bool, len(o.Modes))
+	if start < 0 || int(start) >= len(o.Modes) {
+		return seen
+	}
+	queue := []ModeID{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, tr := range o.Transitions {
+			if tr.From == cur && !seen[tr.To] {
+				seen[tr.To] = true
+				queue = append(queue, tr.To)
+			}
+		}
+	}
+	return seen
+}
+
 // ModeByName returns the mode with the given name, or nil.
 func (o *OMSM) ModeByName(name string) *Mode {
 	for _, m := range o.Modes {

@@ -133,14 +133,58 @@ func Load(path string) (*Checkpoint, error) {
 			path, head[len(magic)-1], magic[len(magic)-1])
 	}
 	cp := &Checkpoint{}
-	if err := gob.NewDecoder(br).Decode(cp); err != nil {
-		return nil, fmt.Errorf("runctl: checkpoint decode: %w", err)
+	if err := decode(br, cp); err != nil {
+		return nil, fmt.Errorf("runctl: checkpoint %s is corrupt: %w", path, err)
 	}
-	if cp.Version != Version {
-		return nil, fmt.Errorf("runctl: checkpoint version %d unsupported (want %d)", cp.Version, Version)
-	}
-	if len(cp.Snapshot.Population) == 0 {
-		return nil, fmt.Errorf("runctl: checkpoint %s holds an empty population", path)
+	if err := cp.validate(); err != nil {
+		return nil, fmt.Errorf("runctl: checkpoint %s is corrupt: %w", path, err)
 	}
 	return cp, nil
+}
+
+// decode runs the gob decoder behind a recover barrier: a truncated or
+// bit-flipped payload must surface as a diagnostic error, never a panic
+// (gob is not fully hardened against hostile input).
+func decode(r io.Reader, cp *Checkpoint) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("decode panicked: %v", p)
+		}
+	}()
+	if err := gob.NewDecoder(r).Decode(cp); err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	return nil
+}
+
+// validate rejects structurally inconsistent state that gob-decoded
+// cleanly — the last line of defence against resuming from garbage that a
+// damaged payload happened to deserialise into.
+func (cp *Checkpoint) validate() error {
+	if cp.Version != Version {
+		return fmt.Errorf("version %d unsupported (want %d)", cp.Version, Version)
+	}
+	s := &cp.Snapshot
+	if len(s.Population) == 0 {
+		return fmt.Errorf("empty population")
+	}
+	if cp.GenomeLen <= 0 {
+		return fmt.Errorf("genome length %d", cp.GenomeLen)
+	}
+	if len(s.Fitness) != len(s.Population) {
+		return fmt.Errorf("%d fitness values for %d individuals", len(s.Fitness), len(s.Population))
+	}
+	for i, g := range s.Population {
+		if len(g) != cp.GenomeLen {
+			return fmt.Errorf("individual %d has %d loci, genome length is %d", i, len(g), cp.GenomeLen)
+		}
+	}
+	if n := len(s.BestGenome); n != 0 && n != cp.GenomeLen {
+		return fmt.Errorf("best genome has %d loci, genome length is %d", n, cp.GenomeLen)
+	}
+	if s.Generation < 0 || s.Evaluations < 0 || s.Stagnant < 0 || s.Restarts < 0 {
+		return fmt.Errorf("negative progress counters (gen=%d evals=%d stagnant=%d restarts=%d)",
+			s.Generation, s.Evaluations, s.Stagnant, s.Restarts)
+	}
+	return nil
 }

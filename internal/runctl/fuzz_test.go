@@ -1,0 +1,184 @@
+package runctl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"momosyn/internal/ga"
+)
+
+// goodCheckpoint builds a structurally valid checkpoint for seeding and
+// corruption.
+func goodCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Version:     Version,
+		SavedAt:     time.Unix(1700000000, 0),
+		System:      "fuzz-sys",
+		GenomeLen:   3,
+		Seed:        42,
+		Fingerprint: "dvs=true",
+		RNGState:    7,
+		Snapshot: ga.Snapshot{
+			Generation:  5,
+			Stagnant:    1,
+			Evaluations: 60,
+			Population:  [][]int{{0, 1, 0}, {1, 0, 1}, {0, 0, 0}, {1, 1, 1}},
+			Fitness:     []float64{1.5, 2.5, 3.5, 4.5},
+			BestGenome:  []int{0, 1, 0},
+			BestFitness: 1.5,
+			History:     []float64{4.5, 2.0, 1.5},
+		},
+		Cache:  CacheCounters{Hits: 10, Misses: 50},
+		Faults: []EvalFault{{Genome: []int{1, 0, 1}, Err: "boom", Attempts: 2}},
+	}
+}
+
+// goodCheckpointBytes serialises it the way Save does.
+func goodCheckpointBytes(t testing.TB) []byte {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "seed.ckpt")
+	if err := Save(p, goodCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzCheckpoint drives Load with arbitrary file contents: it must either
+// succeed with a structurally valid checkpoint or return a diagnostic
+// error naming the path — never panic, never hand back garbage state.
+func FuzzCheckpoint(f *testing.F) {
+	valid := goodCheckpointBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(magic)])
+	f.Add(valid[:len(magic)-1])
+	f.Add([]byte{})
+	f.Add([]byte("MMSYN-CKPT\x02garbage"))
+	f.Add([]byte("not a checkpoint at all"))
+
+	// One scratch file per worker process: per-iteration TempDir churn
+	// would throttle the fuzzer to a handful of execs per second.
+	scratch := filepath.Join(f.TempDir(), "fuzz.ckpt")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := scratch
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cp, err := Load(p)
+		if err != nil {
+			if cp != nil {
+				t.Fatal("Load returned both a checkpoint and an error")
+			}
+			return
+		}
+		// Whatever decoded must satisfy the structural invariants the
+		// resume path depends on.
+		if cp.Version != Version || cp.GenomeLen <= 0 || len(cp.Snapshot.Population) == 0 {
+			t.Fatalf("Load accepted invalid state: %+v", cp)
+		}
+		if len(cp.Snapshot.Fitness) != len(cp.Snapshot.Population) {
+			t.Fatal("Load accepted mismatched population/fitness lengths")
+		}
+		for _, g := range cp.Snapshot.Population {
+			if len(g) != cp.GenomeLen {
+				t.Fatal("Load accepted a genome of wrong length")
+			}
+		}
+	})
+}
+
+// TestLoadCorrupt walks the corruption classes the fault-injection harness
+// cares about: every damaged file must yield an error that names the path
+// and says why, and never a panic or a silently wrong resume.
+func TestLoadCorrupt(t *testing.T) {
+	valid := goodCheckpointBytes(t)
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"header-only", valid[:len(magic)]},
+		{"partial-header", valid[:4]},
+		{"truncated-25", valid[:len(valid)/4]},
+		{"truncated-50", valid[:len(valid)/2]},
+		{"truncated-1", valid[:len(valid)-1]},
+		{"wrong-version", append([]byte("MMSYN-CKPT\x7f"), valid[len(magic):]...)},
+		{"not-magic", []byte("PNG\x89 definitely not a checkpoint")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := write(tc.name, tc.data)
+			cp, err := Load(p)
+			if err == nil {
+				t.Fatalf("damaged checkpoint loaded: %+v", cp)
+			}
+			if !strings.Contains(err.Error(), p) {
+				t.Errorf("error must name the path %q: %v", p, err)
+			}
+		})
+	}
+
+	// Flip every byte of the payload in turn: Load may reject or (for
+	// immaterial bytes) accept, but an accepted checkpoint must be
+	// structurally valid. Primarily a no-panic sweep.
+	for off := len(magic); off < len(valid); off++ {
+		data := append([]byte(nil), valid...)
+		data[off] ^= 0xff
+		p := write("flip.ckpt", data)
+		cp, err := Load(p)
+		if err == nil && (cp.GenomeLen <= 0 || len(cp.Snapshot.Population) == 0 ||
+			len(cp.Snapshot.Fitness) != len(cp.Snapshot.Population)) {
+			t.Fatalf("flip at %d: accepted invalid state: %+v", off, cp)
+		}
+	}
+
+	// The undamaged bytes still load.
+	p := write("valid.ckpt", valid)
+	cp, err := Load(p)
+	if err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	if cp.System != "fuzz-sys" || cp.GenomeLen != 3 {
+		t.Errorf("valid checkpoint misread: %+v", cp)
+	}
+}
+
+// TestLoadRejectsInconsistentState pins the structural validation beyond
+// what gob can express: fields that decode fine but cannot be resumed.
+func TestLoadRejectsInconsistentState(t *testing.T) {
+	corrupt := func(name string, mut func(cp *Checkpoint), want string) {
+		t.Run(name, func(t *testing.T) {
+			cp := goodCheckpoint()
+			mut(cp)
+			p := filepath.Join(t.TempDir(), name+".ckpt")
+			if err := Save(p, cp); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Load(p)
+			if err == nil || !strings.Contains(err.Error(), want) {
+				t.Errorf("want error containing %q, got %v", want, err)
+			}
+		})
+	}
+	corrupt("zero-genome-len", func(cp *Checkpoint) { cp.GenomeLen = 0 }, "genome length")
+	corrupt("fitness-mismatch", func(cp *Checkpoint) { cp.Snapshot.Fitness = cp.Snapshot.Fitness[:2] }, "fitness")
+	corrupt("short-genome", func(cp *Checkpoint) { cp.Snapshot.Population[1] = []int{1} }, "loci")
+	corrupt("bad-best", func(cp *Checkpoint) { cp.Snapshot.BestGenome = []int{1, 2, 3, 4, 5} }, "best genome")
+	corrupt("negative-gen", func(cp *Checkpoint) { cp.Snapshot.Generation = -3 }, "negative")
+}

@@ -26,6 +26,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,11 +34,31 @@ import (
 	"momosyn/internal/model"
 )
 
-// Read parses a specification and returns the validated system. Every
-// parse error carries the 1-based input line number; only whole-spec
-// semantic errors (probability sums, graph cycles, ...) are reported
-// without one.
+// Warning is a non-fatal semantic lint finding, carrying the 1-based line
+// number of the offending declaration.
+type Warning struct {
+	Line int
+	Msg  string
+}
+
+// String renders the warning in the same line-prefixed form as errors.
+func (w Warning) String() string { return fmt.Sprintf("specio: line %d: warning: %s", w.Line, w.Msg) }
+
+// Read parses a specification and returns the validated system, discarding
+// lint warnings. Every parse error carries the 1-based input line number;
+// only whole-spec semantic errors (graph cycles, ...) are reported without
+// one.
 func Read(r io.Reader) (*model.System, error) {
+	sys, _, err := ReadWarn(r)
+	return sys, err
+}
+
+// ReadWarn parses a specification and additionally returns semantic lint
+// warnings. Mode execution probabilities that do not sum to ~1 are
+// normalised with a warning (the OMSM semantics need a distribution, and a
+// misscaled Ψ would silently skew the Eq. (1) objective); unreachable
+// modes and transitions with non-positive tTmax are rejected as errors.
+func ReadWarn(r io.Reader) (*model.System, []Warning, error) {
 	p := &parser{
 		types:  make(map[string]*typeDecl),
 		peSet:  make(map[string]bool),
@@ -57,14 +78,15 @@ func Read(r io.Reader) (*model.System, error) {
 		if len(fields) == 0 {
 			continue
 		}
+		p.line = line
 		if err := p.directive(fields); err != nil {
-			return nil, fmt.Errorf("specio: line %d: %w", line, err)
+			return nil, nil, fmt.Errorf("specio: line %d: %w", line, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		// The scanner stops at the offending line (e.g. one longer than
 		// the buffer), which is the line after the last accepted one.
-		return nil, fmt.Errorf("specio: line %d: %w", line+1, err)
+		return nil, nil, fmt.Errorf("specio: line %d: %w", line+1, err)
 	}
 	return p.finish()
 }
@@ -84,6 +106,9 @@ type parser struct {
 	peSet  map[string]bool
 	clSet  map[string]bool
 	modeBy map[string]*modeDecl
+	// line is the 1-based number of the line currently being parsed; mode
+	// and transition declarations record it for whole-spec lints.
+	line int
 }
 
 type peDecl struct{ pe model.PE }
@@ -99,6 +124,7 @@ type typeDecl struct {
 
 type modeDecl struct {
 	name         string
+	line         int
 	prob, period float64
 	tasks        []taskDecl
 	edges        []edgeDecl
@@ -326,7 +352,7 @@ func (p *parser) parseMode(fields []string) error {
 	if p.modeBy[fields[1]] != nil {
 		return fmt.Errorf("duplicate mode %q", fields[1])
 	}
-	d := &modeDecl{name: fields[1], taskSet: make(map[string]bool)}
+	d := &modeDecl{name: fields[1], line: p.line, taskSet: make(map[string]bool)}
 	for k, v := range attrs {
 		switch k {
 		case "prob":
@@ -447,6 +473,10 @@ func (p *parser) parseTransition(fields []string) error {
 				if err != nil {
 					return err
 				}
+				if mt <= 0 {
+					return fmt.Errorf("transition %s->%s: max=%s is not positive; omit max for an unconstrained transition",
+						td.from, td.to, v)
+				}
 				td.max = mt
 			default:
 				return fmt.Errorf("unknown transition attribute %q", k)
@@ -462,11 +492,31 @@ type transDecl struct {
 	max      float64
 }
 
-// finish replays the accumulated declarations through the model builder.
-func (p *parser) finish() (*model.System, error) {
+// finish replays the accumulated declarations through the model builder
+// and applies the whole-spec semantic lints.
+func (p *parser) finish() (*model.System, []Warning, error) {
 	if p.name == "" {
 		p.name = "unnamed"
 	}
+	var warns []Warning
+
+	// Lint: the mode execution probabilities Ψ must form a distribution.
+	// A misscaled vector is normalised with a warning rather than
+	// rejected — relative usage ratios are usually what the author meant.
+	if len(p.modes) > 0 {
+		sum := 0.0
+		for _, m := range p.modes {
+			sum += m.prob
+		}
+		if sum > 0 && math.Abs(sum-1) > 1e-6 {
+			warns = append(warns, Warning{Line: p.modes[0].line, Msg: fmt.Sprintf(
+				"mode execution probabilities sum to %g, not 1; normalising to a distribution", sum)})
+			for _, m := range p.modes {
+				m.prob /= sum
+			}
+		}
+	}
+
 	b := model.NewBuilder(p.name)
 	for _, d := range p.pes {
 		b.AddPE(d.pe)
@@ -489,7 +539,25 @@ func (p *parser) finish() (*model.System, error) {
 	for _, td := range p.trans {
 		b.AddTransition(td.from, td.to, td.max)
 	}
-	return b.Finish()
+	sys, err := b.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Lint: every declared mode must be reachable from the initial (first
+	// declared) mode when the spec declares a state machine at all.
+	if len(p.modes) > 1 && len(p.trans) > 0 {
+		reach := sys.App.ReachableFrom(0)
+		for i, ok := range reach {
+			if !ok {
+				m := p.modes[i]
+				return nil, nil, fmt.Errorf(
+					"specio: line %d: mode %q is unreachable from initial mode %q via the declared transitions",
+					m.line, m.name, p.modes[0].name)
+			}
+		}
+	}
+	return sys, warns, nil
 }
 
 // Write emits the canonical text form of the system. Reading the output

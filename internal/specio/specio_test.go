@@ -2,6 +2,7 @@ package specio
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
@@ -245,8 +246,9 @@ func TestReadErrors(t *testing.T) {
 	}
 }
 
-func TestReadValidatesSemantics(t *testing.T) {
-	// Syntactically fine but probabilities do not sum to 1.
+func TestReadNormalisesProbabilities(t *testing.T) {
+	// Syntactically fine but probabilities sum to 0.8: the reader warns
+	// (with the first mode's line number) and normalises the distribution.
 	spec := `
 pe cpu class=gpp
 cl bus bw=1MB/s pes=cpu
@@ -257,8 +259,95 @@ task a x type=t
 mode b prob=0.4 period=1s
 task b y type=t
 `
-	if _, err := Read(strings.NewReader(spec)); err == nil {
-		t.Error("semantic validation must run on parsed specs")
+	sys, warns, err := ReadWarn(strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("misscaled probabilities must warn, not fail: %v", err)
+	}
+	if len(warns) != 1 {
+		t.Fatalf("want exactly one warning, got %v", warns)
+	}
+	if warns[0].Line != 6 || !strings.Contains(warns[0].Msg, "0.8") {
+		t.Errorf("warning must cite line 6 and the sum 0.8, got %+v", warns[0])
+	}
+	for _, m := range sys.App.Modes {
+		if math.Abs(m.Prob-0.5) > 1e-12 {
+			t.Errorf("mode %q prob = %g, want 0.5 after normalisation", m.Name, m.Prob)
+		}
+	}
+
+	// A correctly scaled spec warns about nothing.
+	ok := strings.Replace(spec, "prob=0.4", "prob=0.5", 2)
+	if _, warns, err := ReadWarn(strings.NewReader(ok)); err != nil || len(warns) != 0 {
+		t.Errorf("clean spec: err=%v warnings=%v", err, warns)
+	}
+}
+
+func TestReadRejectsUnreachableMode(t *testing.T) {
+	spec := `
+pe cpu class=gpp
+cl bus bw=1MB/s pes=cpu
+type t
+impl t cpu time=1ms power=1mW
+mode a prob=0.4 period=1s
+task a x type=t
+mode b prob=0.3 period=1s
+task b y type=t
+mode c prob=0.3 period=1s
+task c z type=t
+transition a b max=1ms
+transition b a max=1ms
+transition c a max=1ms
+`
+	_, err := Read(strings.NewReader(spec))
+	if err == nil {
+		t.Fatal("unreachable mode must be rejected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"c"`) || !strings.Contains(msg, "unreachable") {
+		t.Errorf("error must name the unreachable mode: %v", err)
+	}
+	if !strings.Contains(msg, "line 10") {
+		t.Errorf("error must carry the mode's line number: %v", err)
+	}
+
+	// Closing the cycle makes the same spec valid.
+	fixed := spec + "transition a c max=1ms\n"
+	if _, err := Read(strings.NewReader(fixed)); err != nil {
+		t.Errorf("reachable state machine rejected: %v", err)
+	}
+}
+
+func TestReadRejectsNonPositiveTransitionMax(t *testing.T) {
+	base := `
+pe cpu class=gpp
+cl bus bw=1MB/s pes=cpu
+type t
+impl t cpu time=1ms power=1mW
+mode a prob=0.5 period=1s
+task a x type=t
+mode b prob=0.5 period=1s
+task b y type=t
+transition a b max=%s
+transition b a max=1ms
+`
+	for _, bad := range []string{"0s", "0ms", "-5ms"} {
+		spec := fmt.Sprintf(base, bad)
+		_, err := Read(strings.NewReader(spec))
+		if err == nil {
+			t.Errorf("max=%s must be rejected", bad)
+			continue
+		}
+		// Negative durations are caught by the unit parser itself, zero by
+		// the transition lint; both carry the line number and a reason.
+		if !strings.Contains(err.Error(), "line 10") ||
+			!(strings.Contains(err.Error(), "positive") || strings.Contains(err.Error(), "negative")) {
+			t.Errorf("max=%s: error must cite line 10 and reason, got %v", bad, err)
+		}
+	}
+	// Omitting max entirely stays legal (unconstrained transition).
+	spec := strings.Replace(fmt.Sprintf(base, "1ms"), " max=1ms\ntransition b a max=1ms", "\ntransition b a", 1)
+	if _, err := Read(strings.NewReader(spec)); err != nil {
+		t.Errorf("unconstrained transition rejected: %v", err)
 	}
 }
 

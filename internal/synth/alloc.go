@@ -42,6 +42,14 @@ func (a *Allocation) Instances(mode model.ModeID, pe model.PEID, tt model.TaskTy
 	return a.inst[mode][coreKey{pe, tt}]
 }
 
+// SetInstances overrides the instance count of one (mode, pe, type) core
+// pool. It exists as a seam for fault injection (internal/verify/faultinj)
+// and deliberately bypasses the allocator's area bookkeeping — the
+// certifier must notice the resulting overflow on its own.
+func (a *Allocation) SetInstances(mode model.ModeID, pe model.PEID, tt model.TaskTypeID, n int) {
+	a.inst[mode][coreKey{pe, tt}] = n
+}
+
 // AreaFeasible reports whether no PE exceeds its area budget in any mode.
 func (a *Allocation) AreaFeasible() bool {
 	for _, v := range a.Violation {

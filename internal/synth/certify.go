@@ -1,0 +1,31 @@
+package synth
+
+import (
+	"momosyn/internal/model"
+	"momosyn/internal/verify"
+)
+
+// CertifyEvaluation runs the independent certifier over one evaluated
+// implementation. probs selects the probability vector ev.AvgPower was
+// computed under; nil means the specification's own distribution. A nil
+// evaluation certifies an empty solution (which fails structurally),
+// keeping callers free of nil checks.
+func CertifyEvaluation(sys *model.System, ev *Evaluation, probs []float64, opts verify.Options) *verify.Report {
+	if ev == nil {
+		return verify.Certify(sys, verify.Solution{}, opts)
+	}
+	sol := verify.Solution{
+		Mapping:            ev.Mapping,
+		Schedules:          ev.Schedules,
+		ReportedPower:      ev.AvgPower,
+		ReportedModePowers: ev.ModePowers,
+		ReportedTransTimes: ev.TransTimes,
+		Probs:              probs,
+		ClaimFeasible:      ev.Feasible(),
+	}
+	// A typed-nil *Allocation must not become a non-nil CoreProvider.
+	if ev.Alloc != nil {
+		sol.Cores = ev.Alloc
+	}
+	return verify.Certify(sys, sol, opts)
+}

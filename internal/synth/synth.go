@@ -10,6 +10,7 @@ import (
 	"momosyn/internal/ga"
 	"momosyn/internal/model"
 	"momosyn/internal/runctl"
+	"momosyn/internal/verify"
 )
 
 // FitnessCacheCap bounds the fitness cache of one synthesis run. Beyond
@@ -72,6 +73,15 @@ type Options struct {
 	// stall watchdog); Result.GA.Restarts counts the injections.
 	StallWindow int
 
+	// Certify runs the independent internal/verify certifier on the final
+	// (or best-partial) implementation and surfaces the report in
+	// Result.Certification. Certification never changes the search
+	// trajectory, so resuming a checkpointed run with a different Certify
+	// setting is valid.
+	Certify bool
+	// CertifyOptions tunes the certifier; zero value selects its defaults.
+	CertifyOptions verify.Options
+
 	// evalHook, when set, runs before every uncached fitness evaluation
 	// (test seam for fault injection).
 	evalHook func(genome []int)
@@ -108,6 +118,9 @@ type Result struct {
 	// Faults lists the genomes whose evaluation panicked; they were marked
 	// infeasible and the run continued.
 	Faults []runctl.EvalFault
+	// Certification is the independent certifier's report on Best; nil
+	// unless Options.Certify was set.
+	Certification *verify.Report
 }
 
 // problem adapts the evaluator to the GA engine with a bounded,
@@ -287,7 +300,7 @@ func Synthesize(sys *model.System, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
-	return &Result{
+	out := &Result{
 		Best:           best,
 		ObjectivePower: objective,
 		GA:             res,
@@ -295,7 +308,13 @@ func Synthesize(sys *model.System, opts Options) (*Result, error) {
 		Partial:        res.Partial,
 		Cache:          prob.counters(),
 		Faults:         guard.Faults(),
-	}, nil
+	}
+	if opts.Certify {
+		// Best is always reported under the true probabilities, so the
+		// certifier checks against the specification's distribution.
+		out.Certification = CertifyEvaluation(sys, best, nil, opts.CertifyOptions)
+	}
+	return out, nil
 }
 
 // checkResumable verifies a checkpoint belongs to this (spec, seed,

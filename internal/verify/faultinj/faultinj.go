@@ -1,0 +1,265 @@
+// Package faultinj deliberately corrupts synthesis results and on-disk
+// artefacts so tests (and the MMSYNTH_FAULT_INJECT hook of mmsynth) can
+// assert that the independent certifier catches every violation class and
+// that the CLIs degrade with clean diagnostics instead of panics. It is a
+// test harness: nothing here is reachable from a production code path
+// unless explicitly invoked.
+package faultinj
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"momosyn/internal/model"
+	"momosyn/internal/synth"
+	"momosyn/internal/verify"
+)
+
+// Classes lists the supported fault classes in a stable order.
+func Classes() []string {
+	return []string{
+		"precedence", "overlap", "deadline", "area",
+		"transition", "energy", "voltage", "mapping",
+	}
+}
+
+// Apply corrupts the evaluation in place according to the named fault
+// class and returns the Violation kind the certifier must report for it.
+// It returns an error when the class is unknown or the system offers no
+// site for the fault (e.g. "transition" without a constrained transition
+// touching an FPGA).
+func Apply(class string, sys *model.System, ev *synth.Evaluation) (verify.Kind, error) {
+	if ev == nil {
+		return 0, fmt.Errorf("faultinj: nil evaluation")
+	}
+	switch class {
+	case "precedence":
+		return verify.KindPrecedence, breakPrecedence(sys, ev)
+	case "overlap":
+		return verify.KindOverlap, breakOverlap(sys, ev)
+	case "deadline":
+		return verify.KindDeadline, breakDeadline(sys, ev)
+	case "area":
+		return verify.KindArea, breakArea(sys, ev)
+	case "transition":
+		return verify.KindTransition, breakTransition(sys, ev)
+	case "energy":
+		return verify.KindEnergy, breakEnergy(ev)
+	case "voltage":
+		return verify.KindVoltage, breakVoltage(sys, ev)
+	case "mapping":
+		return verify.KindMapping, breakMapping(sys, ev)
+	default:
+		return 0, fmt.Errorf("faultinj: unknown fault class %q (known: %v)", class, Classes())
+	}
+}
+
+// breakPrecedence pulls a dependent task's start to the middle of its
+// predecessor's execution, preserving its duration.
+func breakPrecedence(sys *model.System, ev *synth.Evaluation) error {
+	for m, sc := range ev.Schedules {
+		if sc == nil {
+			continue
+		}
+		g := sys.App.Mode(model.ModeID(m)).Graph
+		for ei := range sc.Comms {
+			e := g.Edge(model.EdgeID(ei))
+			src, dst := &sc.Tasks[e.Src], &sc.Tasks[e.Dst]
+			if src.Finish <= 0 {
+				continue
+			}
+			dur := dst.Finish - dst.Start
+			dst.Start = src.Finish / 2
+			dst.Finish = dst.Start + dur
+			return nil
+		}
+	}
+	return fmt.Errorf("faultinj: no precedence edge to break")
+}
+
+// breakOverlap forces two activities sharing a sequential resource to
+// start at the same instant.
+func breakOverlap(sys *model.System, ev *synth.Evaluation) error {
+	type key struct {
+		pe   model.PEID
+		tt   model.TaskTypeID
+		core int
+	}
+	for m, sc := range ev.Schedules {
+		if sc == nil {
+			continue
+		}
+		g := sys.App.Mode(model.ModeID(m)).Graph
+		groups := make(map[key][]int)
+		for ti := range sc.Tasks {
+			pe := sys.Arch.PE(sc.Tasks[ti].PE)
+			if pe == nil {
+				continue
+			}
+			k := key{sc.Tasks[ti].PE, -1, -1}
+			if pe.Class.IsHardware() {
+				k = key{sc.Tasks[ti].PE, g.Task(model.TaskID(ti)).Type, sc.Tasks[ti].Core}
+			}
+			groups[k] = append(groups[k], ti)
+		}
+		for _, idxs := range groups {
+			if len(idxs) < 2 {
+				continue
+			}
+			sort.Slice(idxs, func(i, j int) bool {
+				return sc.Tasks[idxs[i]].Start < sc.Tasks[idxs[j]].Start
+			})
+			a, b := &sc.Tasks[idxs[0]], &sc.Tasks[idxs[1]]
+			dur := b.Finish - b.Start
+			b.Start = a.Start
+			b.Finish = b.Start + dur
+			return nil
+		}
+	}
+	return fmt.Errorf("faultinj: no two tasks share a sequential resource")
+}
+
+// breakDeadline pushes a task past its effective deadline, preserving its
+// duration.
+func breakDeadline(sys *model.System, ev *synth.Evaluation) error {
+	for m, sc := range ev.Schedules {
+		if sc == nil || len(sc.Tasks) == 0 {
+			continue
+		}
+		mode := sys.App.Mode(model.ModeID(m))
+		slot := &sc.Tasks[0]
+		task := mode.Graph.Task(0)
+		dur := slot.Finish - slot.Start
+		slot.Finish = task.EffectiveDeadline(mode.Period) + 0.25*mode.Period
+		slot.Start = slot.Finish - dur
+		return nil
+	}
+	return fmt.Errorf("faultinj: no task slot to delay")
+}
+
+// breakArea inflates one hardware core pool far beyond the PE's budget.
+func breakArea(sys *model.System, ev *synth.Evaluation) error {
+	if ev.Alloc == nil {
+		return fmt.Errorf("faultinj: evaluation carries no core allocation")
+	}
+	for _, pe := range sys.Arch.PEs {
+		if !pe.Class.IsHardware() {
+			continue
+		}
+		for _, tt := range sys.Lib.Types {
+			im, ok := tt.ImplOn(pe.ID)
+			if !ok || im.Area <= 0 {
+				continue
+			}
+			ev.Alloc.SetInstances(0, pe.ID, tt.ID, pe.Area/im.Area+1)
+			return nil
+		}
+	}
+	return fmt.Errorf("faultinj: no hardware implementation to over-allocate")
+}
+
+// breakTransition inflates an FPGA working set so a constrained mode
+// transition overruns its tTmax.
+func breakTransition(sys *model.System, ev *synth.Evaluation) error {
+	if ev.Alloc == nil {
+		return fmt.Errorf("faultinj: evaluation carries no core allocation")
+	}
+	for _, tr := range sys.App.Transitions {
+		if tr.MaxTime <= 0 {
+			continue
+		}
+		for _, pe := range sys.Arch.PEs {
+			if pe.Class != model.FPGA || pe.ReconfigTime <= 0 {
+				continue
+			}
+			for _, tt := range sys.Lib.Types {
+				if _, ok := tt.ImplOn(pe.ID); !ok {
+					continue
+				}
+				need := int(tr.MaxTime/pe.ReconfigTime) + 2 +
+					ev.Alloc.Instances(tr.From, pe.ID, tt.ID)
+				ev.Alloc.SetInstances(tr.To, pe.ID, tt.ID, need)
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("faultinj: no constrained transition over a reconfigurable PE")
+}
+
+// breakEnergy adds a whole joule to one recorded task energy — orders of
+// magnitude above the µJ scale, so it escapes every epsilon.
+func breakEnergy(ev *synth.Evaluation) error {
+	for _, sc := range ev.Schedules {
+		if sc == nil || len(sc.Tasks) == 0 {
+			continue
+		}
+		sc.Tasks[0].Energy += 1.0
+		return nil
+	}
+	ev.AvgPower += 1.0
+	return nil
+}
+
+// breakVoltage corrupts a voltage selection: out of range on a DVS PE, or
+// a spurious index on a non-DVS PE.
+func breakVoltage(sys *model.System, ev *synth.Evaluation) error {
+	for _, sc := range ev.Schedules {
+		if sc == nil {
+			continue
+		}
+		for ti := range sc.Tasks {
+			pe := sys.Arch.PE(sc.Tasks[ti].PE)
+			if pe == nil {
+				continue
+			}
+			if pe.DVS {
+				sc.Tasks[ti].VoltIdx = len(pe.Levels) + 5
+			} else {
+				sc.Tasks[ti].VoltIdx = 0
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("faultinj: no task slot to corrupt")
+}
+
+// breakMapping retargets a task to a PE without an implementation of its
+// type (falling back to an out-of-range PE ID when every PE implements
+// every type).
+func breakMapping(sys *model.System, ev *synth.Evaluation) error {
+	for m, mode := range sys.App.Modes {
+		for ti, task := range mode.Graph.Tasks {
+			for _, pe := range sys.Arch.PEs {
+				if _, ok := sys.Lib.Type(task.Type).ImplOn(pe.ID); !ok {
+					ev.Mapping[m][ti] = pe.ID
+					return nil
+				}
+			}
+		}
+	}
+	if len(ev.Mapping) > 0 && len(ev.Mapping[0]) > 0 {
+		ev.Mapping[0][0] = model.PEID(len(sys.Arch.PEs) + 3)
+		return nil
+	}
+	return fmt.Errorf("faultinj: no task mapping to corrupt")
+}
+
+// TruncateFile cuts the file to n bytes (corrupting checkpoints and spec
+// files for the degradation tests).
+func TruncateFile(path string, n int64) error {
+	return os.Truncate(path, n)
+}
+
+// FlipByte XOR-flips every bit of the byte at the given offset.
+func FlipByte(path string, off int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off >= int64(len(data)) {
+		return fmt.Errorf("faultinj: offset %d outside file of %d bytes", off, len(data))
+	}
+	data[off] ^= 0xff
+	return os.WriteFile(path, data, 0o644)
+}

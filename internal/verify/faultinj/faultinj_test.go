@@ -1,0 +1,131 @@
+package faultinj_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"momosyn/internal/model"
+	"momosyn/internal/synth"
+	"momosyn/internal/verify"
+	"momosyn/internal/verify/faultinj"
+)
+
+// testSystem mirrors the known-good system of the verify package tests: a
+// DVS software processor and a reconfigurable hardware PE on a shared bus,
+// two modes, constrained transitions both ways.
+func testSystem(t *testing.T) *model.System {
+	t.Helper()
+	b := model.NewBuilder("faultinj-test")
+	b.AddPE(model.PE{Name: "cpu", Class: model.GPP, DVS: true,
+		Vmax: 3.3, Vt: 0.8, Levels: []float64{1.2, 1.8, 2.5, 3.3},
+		StaticPower: 0.001})
+	b.AddPE(model.PE{Name: "hw", Class: model.FPGA, Area: 500,
+		ReconfigTime: 0.001, StaticPower: 0.002})
+	b.AddCL(model.CL{Name: "bus", BytesPerSec: 1e6, PowerActive: 0.005,
+		StaticPower: 0.0005}, "cpu", "hw")
+	b.AddType("tA", model.ImplSpec{PE: "cpu", Time: 0.001, Power: 0.005})
+	b.AddType("tB",
+		model.ImplSpec{PE: "cpu", Time: 0.002, Power: 0.004},
+		model.ImplSpec{PE: "hw", Time: 0.0005, Power: 0.006, Area: 200})
+	b.AddType("tC", model.ImplSpec{PE: "hw", Time: 0.001, Power: 0.008, Area: 150})
+
+	b.BeginMode("m0", 0.6, 0.050)
+	b.AddTask("a", "tA", 0)
+	b.AddTask("b", "tB", 0)
+	b.AddTask("c", "tC", 0)
+	b.AddTask("d", "tA", 0)
+	b.AddEdge("a", "b", 1000)
+	b.AddEdge("b", "c", 500)
+	b.AddEdge("a", "d", 0)
+
+	b.BeginMode("m1", 0.4, 0.040)
+	b.AddTask("x", "tB", 0)
+	b.AddTask("y", "tC", 0)
+	b.AddTask("z", "tA", 0)
+	b.AddEdge("x", "y", 800)
+
+	b.AddTransition("m0", "m1", 0.010)
+	b.AddTransition("m1", "m0", 0.010)
+
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatalf("testSystem: %v", err)
+	}
+	return sys
+}
+
+func evaluateGood(t *testing.T, sys *model.System) *synth.Evaluation {
+	t.Helper()
+	eval := &synth.Evaluator{Sys: sys, UseDVS: true, Weights: synth.DefaultWeights()}
+	ev, err := eval.Evaluate(model.Mapping{{0, 0, 1, 0}, {1, 1, 0}})
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if !ev.Feasible() {
+		t.Fatal("seed mapping must be feasible")
+	}
+	return ev
+}
+
+// TestCertifierCatchesEveryFaultClass is the satellite table test: each
+// fault class is injected into a fresh known-good result and the certifier
+// must report exactly that violation kind and refuse certification.
+func TestCertifierCatchesEveryFaultClass(t *testing.T) {
+	sys := testSystem(t)
+	for _, class := range faultinj.Classes() {
+		t.Run(class, func(t *testing.T) {
+			ev := evaluateGood(t, sys)
+
+			// The unfaulted result certifies — the baseline of the test.
+			if rep := synth.CertifyEvaluation(sys, ev, nil, verify.Options{}); !rep.Certified() {
+				t.Fatalf("baseline not certified:\n%s", rep)
+			}
+
+			kind, err := faultinj.Apply(class, sys, ev)
+			if err != nil {
+				t.Fatalf("inject %q: %v", class, err)
+			}
+			rep := synth.CertifyEvaluation(sys, ev, nil, verify.Options{})
+			if rep.Certified() {
+				t.Fatalf("fault %q not detected:\n%s", class, rep)
+			}
+			if rep.Count(kind) == 0 {
+				t.Errorf("fault %q must report kind %v, got:\n%s", class, kind, rep)
+			}
+		})
+	}
+}
+
+func TestApplyUnknownClass(t *testing.T) {
+	sys := testSystem(t)
+	ev := evaluateGood(t, sys)
+	if _, err := faultinj.Apply("no-such-class", sys, ev); err == nil {
+		t.Error("unknown class must error")
+	}
+	if _, err := faultinj.Apply("energy", sys, nil); err == nil {
+		t.Error("nil evaluation must error")
+	}
+}
+
+func TestFileCorruptors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinj.TruncateFile(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "abc" {
+		t.Errorf("truncate left %q", data)
+	}
+	if err := faultinj.FlipByte(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); data[1] != 'b'^0xff {
+		t.Errorf("flip left %q", data)
+	}
+	if err := faultinj.FlipByte(path, 99); err == nil {
+		t.Error("out-of-range flip must error")
+	}
+}

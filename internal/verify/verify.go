@@ -1,0 +1,883 @@
+// Package verify independently certifies synthesis results. It re-derives
+// everything the optimiser claims about an implementation — schedule
+// legality per mode (precedence, exclusive use of sequential resources,
+// containment in the hyper-period), deadline satisfaction, per-PE area
+// budgets of the allocated cores, mode-transition time limits, and an
+// independent recomputation of the Eq. (1) probability-weighted average
+// power from the voltage schedule — using only the specification and the
+// energy model, never the scheduler or evaluator code paths that produced
+// the result. A regression in scheduling, allocation or voltage scaling
+// therefore cannot certify its own wrong numbers.
+//
+// Violations are typed: constraint-class kinds (deadline, containment,
+// area, transition time) describe a design that is honestly infeasible and
+// are tolerated when the solution does not claim feasibility; every other
+// kind is an internal inconsistency and always fails certification. See
+// docs/VERIFY.md.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"momosyn/internal/energy"
+	"momosyn/internal/model"
+	"momosyn/internal/sched"
+)
+
+// Kind classifies one certification violation.
+type Kind int
+
+const (
+	// KindStructure: the solution is malformed — wrong slice shapes,
+	// non-finite times, slots disagreeing with the mapping or library.
+	KindStructure Kind = iota
+	// KindMapping: a task is mapped to an unknown PE or to a PE without an
+	// implementation of its type.
+	KindMapping
+	// KindRouting: a communication claims a link that does not connect its
+	// endpoint PEs, a transfer time disagreeing with the link bandwidth, or
+	// an unroutable flag that contradicts the architecture.
+	KindRouting
+	// KindPrecedence: an activity starts before its predecessor finishes.
+	KindPrecedence
+	// KindOverlap: two activities overlap on a sequential resource (a
+	// software PE, one hardware core instance, or a communication link).
+	KindOverlap
+	// KindVoltage: a voltage selection is out of range, inconsistent with
+	// the PE's DVS capability, or disagrees with the execution time.
+	KindVoltage
+	// KindEnergy: a recomputed energy or power disagrees with the recorded
+	// value beyond the configured epsilon.
+	KindEnergy
+	// KindReport: a reported summary quantity (feasibility claim,
+	// transition time) disagrees with the recomputation.
+	KindReport
+	// KindContainment: an activity extends beyond the mode hyper-period.
+	KindContainment
+	// KindDeadline: a task finishes after its effective deadline.
+	KindDeadline
+	// KindArea: allocated cores exceed a PE's silicon area budget.
+	KindArea
+	// KindTransition: a recomputed mode-transition time exceeds tTmax.
+	KindTransition
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindStructure:
+		return "structure"
+	case KindMapping:
+		return "mapping"
+	case KindRouting:
+		return "routing"
+	case KindPrecedence:
+		return "precedence"
+	case KindOverlap:
+		return "overlap"
+	case KindVoltage:
+		return "voltage"
+	case KindEnergy:
+		return "energy"
+	case KindReport:
+		return "report"
+	case KindContainment:
+		return "containment"
+	case KindDeadline:
+		return "deadline"
+	case KindArea:
+		return "area"
+	case KindTransition:
+		return "transition"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Constraint reports whether the kind describes a violated design
+// constraint rather than an internal inconsistency. Constraint violations
+// are tolerated when the solution does not claim feasibility;
+// inconsistencies never are.
+func (k Kind) Constraint() bool {
+	switch k {
+	case KindContainment, KindDeadline, KindArea, KindTransition:
+		return true
+	}
+	return false
+}
+
+// Violation is one certification failure.
+type Violation struct {
+	Kind Kind
+	// Mode is the mode the violation occurred in; -1 when the violation is
+	// not mode-specific (transition times, aggregate power).
+	Mode model.ModeID
+	// Detail describes the failure with entity names and quantities.
+	Detail string
+	// Got and Want carry the offending quantities where meaningful.
+	Got, Want float64
+}
+
+// String renders the violation for reports and error messages.
+func (v Violation) String() string {
+	if v.Mode >= 0 {
+		return fmt.Sprintf("[%s] mode %d: %s", v.Kind, v.Mode, v.Detail)
+	}
+	return fmt.Sprintf("[%s] %s", v.Kind, v.Detail)
+}
+
+// Default tolerances of Options.
+const (
+	// DefaultPowerEpsilon is the relative tolerance for energy and power
+	// agreement.
+	DefaultPowerEpsilon = 1e-6
+	// DefaultTimeEpsilon is the timing slack tolerance as a fraction of the
+	// mode hyper-period.
+	DefaultTimeEpsilon = 1e-9
+)
+
+// Options tunes the certifier. The zero value selects the defaults.
+type Options struct {
+	// PowerEpsilon is the relative tolerance applied when comparing
+	// recomputed energies and powers against recorded values (default
+	// DefaultPowerEpsilon). Recorded and recomputed values follow the same
+	// closed-form model, so disagreement beyond a tiny epsilon indicates a
+	// genuine accounting error, not float noise.
+	PowerEpsilon float64
+	// TimeEpsilon is the slack tolerated in timing inequalities, as a
+	// fraction of the mode hyper-period (default DefaultTimeEpsilon).
+	TimeEpsilon float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PowerEpsilon <= 0 {
+		o.PowerEpsilon = DefaultPowerEpsilon
+	}
+	if o.TimeEpsilon <= 0 {
+		o.TimeEpsilon = DefaultTimeEpsilon
+	}
+	return o
+}
+
+// Solution is the implementation under certification, described purely by
+// data: the certifier never calls back into the code that produced it.
+type Solution struct {
+	// Mapping assigns every task of every mode to a PE.
+	Mapping model.Mapping
+	// Schedules holds one schedule per mode, indexed by ModeID.
+	Schedules []*sched.Schedule
+	// Cores is the hardware core allocation backing the schedules. Nil
+	// skips the area and transition-time checks (nothing is claimed).
+	Cores sched.CoreProvider
+	// ReportedPower is the claimed Eq. (1) probability-weighted average
+	// power the certifier must reproduce.
+	ReportedPower float64
+	// ReportedModePowers, when non-nil, is checked per mode against the
+	// recomputed dynamic energy and static power (indexed by ModeID).
+	ReportedModePowers []energy.ModePower
+	// ReportedTransTimes, when non-nil, is checked against the recomputed
+	// transition times (indexed parallel to App.Transitions).
+	ReportedTransTimes []float64
+	// Probs is the probability vector ReportedPower was computed under;
+	// nil selects the specification's probabilities.
+	Probs []float64
+	// ClaimFeasible is the solution's own feasibility claim. A solution
+	// claiming feasibility must certify with zero violations; one claiming
+	// infeasibility must exhibit at least one constraint violation (or an
+	// unroutable communication) and no inconsistency.
+	ClaimFeasible bool
+}
+
+// Report is the structured certification outcome.
+type Report struct {
+	Violations []Violation
+	// Checks counts the individual assertions evaluated.
+	Checks int
+	// ClaimFeasible echoes Solution.ClaimFeasible.
+	ClaimFeasible bool
+}
+
+// add records a violation.
+func (r *Report) add(k Kind, mode model.ModeID, got, want float64, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Kind: k, Mode: mode, Got: got, Want: want,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Count returns the number of violations of the given kind.
+func (r *Report) Count(k Kind) int {
+	n := 0
+	for _, v := range r.Violations {
+		if v.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// constraintOnly reports whether every violation is constraint-class.
+func (r *Report) constraintOnly() bool {
+	for _, v := range r.Violations {
+		if !v.Kind.Constraint() {
+			return false
+		}
+	}
+	return true
+}
+
+// Certified reports whether the solution passed: no violations at all when
+// it claims feasibility, and at most constraint-class violations (an
+// honestly infeasible design) when it does not.
+func (r *Report) Certified() bool {
+	if len(r.Violations) == 0 {
+		return true
+	}
+	return !r.ClaimFeasible && r.constraintOnly()
+}
+
+// String renders a multi-line summary of the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.Certified() {
+		fmt.Fprintf(&b, "certified (%d checks", r.Checks)
+		if n := len(r.Violations); n > 0 {
+			fmt.Fprintf(&b, ", %d constraint violation(s) consistent with the infeasibility claim", n)
+		}
+		b.WriteString(")")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "NOT certified (%d checks, %d violation(s)):", r.Checks, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return b.String()
+}
+
+// certifier carries the shared state of one Certify run.
+type certifier struct {
+	sys  *model.System
+	sol  Solution
+	opts Options
+	r    *Report
+
+	// dynamic and static are the per-mode recomputed aggregates feeding the
+	// Eq. (1) check.
+	dynamic []float64
+	static  []float64
+	// unroutable counts communications verified to have no connecting link.
+	unroutable int
+}
+
+// Certify independently re-derives every claim of the solution against the
+// system specification and returns the structured report.
+func Certify(s *model.System, sol Solution, opts Options) *Report {
+	c := &certifier{
+		sys:  s,
+		sol:  sol,
+		opts: opts.withDefaults(),
+		r:    &Report{ClaimFeasible: sol.ClaimFeasible},
+	}
+	if !c.structure() {
+		return c.r
+	}
+	c.dynamic = make([]float64, len(s.App.Modes))
+	c.static = make([]float64, len(s.App.Modes))
+	c.mapping()
+	for m := range s.App.Modes {
+		c.mode(model.ModeID(m))
+	}
+	c.area()
+	c.transitions()
+	c.power()
+	c.claim()
+	return c.r
+}
+
+// feq compares two values with relative tolerance eps (a vanishing
+// absolute guard keeps exact zeros comparable).
+func feq(a, b, eps float64) bool {
+	d := math.Abs(a - b)
+	return d <= eps*math.Max(math.Abs(a), math.Abs(b))+1e-21
+}
+
+// check counts one assertion; pass-through of its outcome.
+func (c *certifier) check(ok bool) bool {
+	c.r.Checks++
+	return ok
+}
+
+// structure validates the shapes of the solution. Deeper checks index
+// freely into the validated slices, so any shape error stops the run.
+func (c *certifier) structure() bool {
+	s, sol, r := c.sys, c.sol, c.r
+	nModes := len(s.App.Modes)
+	ok := true
+	if !c.check(len(sol.Mapping) == nModes) {
+		r.add(KindStructure, -1, float64(len(sol.Mapping)), float64(nModes),
+			"mapping covers %d modes, specification has %d", len(sol.Mapping), nModes)
+		ok = false
+	}
+	if !c.check(len(sol.Schedules) == nModes) {
+		r.add(KindStructure, -1, float64(len(sol.Schedules)), float64(nModes),
+			"solution carries %d schedules, specification has %d modes", len(sol.Schedules), nModes)
+		ok = false
+	}
+	if !c.check(sol.Probs == nil || len(sol.Probs) == nModes) {
+		r.add(KindStructure, -1, float64(len(sol.Probs)), float64(nModes),
+			"probability vector has %d entries, specification has %d modes", len(sol.Probs), nModes)
+		ok = false
+	}
+	if !c.check(sol.ReportedModePowers == nil || len(sol.ReportedModePowers) == nModes) {
+		r.add(KindStructure, -1, float64(len(sol.ReportedModePowers)), float64(nModes),
+			"reported mode powers have %d entries, specification has %d modes", len(sol.ReportedModePowers), nModes)
+		ok = false
+	}
+	if !c.check(sol.ReportedTransTimes == nil || len(sol.ReportedTransTimes) == len(s.App.Transitions)) {
+		r.add(KindStructure, -1, float64(len(sol.ReportedTransTimes)), float64(len(s.App.Transitions)),
+			"reported transition times have %d entries, specification has %d transitions",
+			len(sol.ReportedTransTimes), len(s.App.Transitions))
+		ok = false
+	}
+	if !ok {
+		return false
+	}
+	for m, mode := range s.App.Modes {
+		g := mode.Graph
+		if !c.check(len(sol.Mapping[m]) == len(g.Tasks)) {
+			r.add(KindStructure, model.ModeID(m), float64(len(sol.Mapping[m])), float64(len(g.Tasks)),
+				"mapping row has %d entries, mode %q has %d tasks", len(sol.Mapping[m]), mode.Name, len(g.Tasks))
+			ok = false
+		}
+		sc := sol.Schedules[m]
+		if !c.check(sc != nil) {
+			r.add(KindStructure, model.ModeID(m), 0, 0, "mode %q has no schedule", mode.Name)
+			ok = false
+			continue
+		}
+		if !c.check(sc.Mode == model.ModeID(m)) {
+			r.add(KindStructure, model.ModeID(m), float64(sc.Mode), float64(m),
+				"schedule of mode %q is labelled mode %d", mode.Name, sc.Mode)
+		}
+		if !c.check(len(sc.Tasks) == len(g.Tasks) && len(sc.Comms) == len(g.Edges)) {
+			r.add(KindStructure, model.ModeID(m), 0, 0,
+				"schedule of mode %q covers %d tasks / %d comms, graph has %d / %d",
+				mode.Name, len(sc.Tasks), len(sc.Comms), len(g.Tasks), len(g.Edges))
+			ok = false
+			continue
+		}
+		for ti := range sc.Tasks {
+			if !c.check(sc.Tasks[ti].Task == model.TaskID(ti)) {
+				r.add(KindStructure, model.ModeID(m), float64(sc.Tasks[ti].Task), float64(ti),
+					"mode %q slot %d carries task ID %d", mode.Name, ti, sc.Tasks[ti].Task)
+			}
+		}
+	}
+	return ok
+}
+
+// mapping checks every task assignment against the architecture and the
+// technology library.
+func (c *certifier) mapping() {
+	s := c.sys
+	for m, mode := range s.App.Modes {
+		for ti, task := range mode.Graph.Tasks {
+			pe := c.sol.Mapping[m][ti]
+			if !c.check(s.Arch.PE(pe) != nil) {
+				c.r.add(KindMapping, model.ModeID(m), float64(pe), 0,
+					"task %q mapped to unknown PE %d", task.Name, pe)
+				continue
+			}
+			_, okImpl := s.Lib.Type(task.Type).ImplOn(pe)
+			if !c.check(okImpl) {
+				c.r.add(KindMapping, model.ModeID(m), float64(pe), 0,
+					"task %q (type %q) mapped to PE %q which has no implementation of the type",
+					task.Name, s.Lib.Type(task.Type).Name, s.Arch.PE(pe).Name)
+			}
+		}
+	}
+}
+
+// impl returns the library implementation backing a task slot, when the
+// mapping admits one.
+func (c *certifier) impl(m model.ModeID, ti model.TaskID) (model.Impl, *model.PE, bool) {
+	s := c.sys
+	task := s.App.Mode(m).Graph.Task(ti)
+	peID := c.sol.Mapping[m][ti]
+	pe := s.Arch.PE(peID)
+	if pe == nil {
+		return model.Impl{}, nil, false
+	}
+	im, ok := s.Lib.Type(task.Type).ImplOn(peID)
+	return im, pe, ok
+}
+
+// timingActive reports whether a comm slot occupies link time (intra-PE
+// and zero-byte transfers carry no meaningful interval, and voltage
+// scaling does not maintain their timestamps).
+func timingActive(cs *sched.CommSlot) bool {
+	return cs.Routed && cs.CL != model.NoCL && cs.Time > 0
+}
+
+// mode certifies one mode's schedule: slot sanity, voltage selections,
+// per-slot energy recomputation, precedence, resource exclusivity,
+// containment and deadlines, and accumulates the mode's energy aggregates.
+func (c *certifier) mode(m model.ModeID) {
+	s := c.sys
+	mode := s.App.Mode(m)
+	g := mode.Graph
+	sc := c.sol.Schedules[m]
+	eps := c.opts.PowerEpsilon
+	tol := c.opts.TimeEpsilon * mode.Period
+
+	sane := make([]bool, len(sc.Tasks))
+	for ti := range sc.Tasks {
+		slot := &sc.Tasks[ti]
+		task := g.Task(model.TaskID(ti))
+		if !c.check(finite(slot.Start) && finite(slot.Finish) && finite(slot.Energy)) {
+			c.r.add(KindStructure, m, 0, 0, "task %q slot has non-finite times or energy", task.Name)
+			continue
+		}
+		if !c.check(slot.Start >= -tol && slot.Finish >= slot.Start-tol) {
+			c.r.add(KindStructure, m, slot.Start, 0,
+				"task %q scheduled over invalid interval [%g, %g]", task.Name, slot.Start, slot.Finish)
+			continue
+		}
+		sane[ti] = true
+
+		if !c.check(slot.PE == c.sol.Mapping[m][ti]) {
+			c.r.add(KindStructure, m, float64(slot.PE), float64(c.sol.Mapping[m][ti]),
+				"task %q scheduled on PE %d but mapped to PE %d", task.Name, slot.PE, c.sol.Mapping[m][ti])
+			continue
+		}
+		im, pe, okImpl := c.impl(m, model.TaskID(ti))
+
+		// Containment and deadline hold regardless of the energy model.
+		if !c.check(slot.Finish <= mode.Period+tol) {
+			c.r.add(KindContainment, m, slot.Finish, mode.Period,
+				"task %q finishes at %g, beyond the hyper-period %g", task.Name, slot.Finish, mode.Period)
+		}
+		if d := task.EffectiveDeadline(mode.Period); !c.check(slot.Finish <= d+tol) {
+			c.r.add(KindDeadline, m, slot.Finish, d,
+				"task %q finishes at %g, past its effective deadline %g", task.Name, slot.Finish, d)
+		}
+		if pe == nil || !okImpl {
+			continue // already a KindMapping violation; no basis for more
+		}
+
+		// Core index discipline.
+		if pe.Class.IsSoftware() {
+			if !c.check(slot.Core == -1) {
+				c.r.add(KindStructure, m, float64(slot.Core), -1,
+					"task %q on software PE %q carries core index %d", task.Name, pe.Name, slot.Core)
+			}
+		} else {
+			n := 1
+			if c.sol.Cores != nil {
+				if k := c.sol.Cores.Instances(m, pe.ID, task.Type); k > n {
+					n = k
+				}
+			} else {
+				n = math.MaxInt32
+			}
+			if !c.check(slot.Core >= 0 && slot.Core < n) {
+				c.r.add(KindOverlap, m, float64(slot.Core), float64(n),
+					"task %q uses core %d of PE %q but only %d instance(s) of type %q are allocated",
+					task.Name, slot.Core, pe.Name, n, s.Lib.Type(task.Type).Name)
+			}
+		}
+
+		// Voltage selection discipline.
+		if pe.DVS {
+			if !c.check(slot.VoltIdx >= 0 && slot.VoltIdx < len(pe.Levels)) {
+				c.r.add(KindVoltage, m, float64(slot.VoltIdx), float64(len(pe.Levels)),
+					"task %q on DVS PE %q selects voltage index %d of %d levels",
+					task.Name, pe.Name, slot.VoltIdx, len(pe.Levels))
+				continue
+			}
+		} else if !c.check(slot.VoltIdx == -1) {
+			c.r.add(KindVoltage, m, float64(slot.VoltIdx), -1,
+				"task %q on non-DVS PE %q carries voltage index %d", task.Name, pe.Name, slot.VoltIdx)
+			continue
+		}
+
+		// Execution time and energy, recomputed from the library.
+		dur := slot.Finish - slot.Start
+		switch {
+		case !pe.DVS:
+			if !c.check(feq(dur, im.Time, eps)) {
+				c.r.add(KindStructure, m, dur, im.Time,
+					"task %q executes for %g, library impl takes %g", task.Name, dur, im.Time)
+			}
+			if want := im.Power * im.Time; !c.check(feq(slot.Energy, want, eps)) {
+				c.r.add(KindEnergy, m, slot.Energy, want,
+					"task %q records energy %g, library impl dissipates %g", task.Name, slot.Energy, want)
+			}
+		case pe.Class.IsSoftware():
+			v := pe.Levels[slot.VoltIdx]
+			if want := energy.ScaledTime(im.Time, v, pe.Vmax, pe.Vt); !c.check(feq(dur, want, eps)) {
+				c.r.add(KindVoltage, m, dur, want,
+					"task %q executes for %g, but takes %g at the selected %gV", task.Name, dur, want, v)
+			}
+			if want := energy.TaskEnergy(im.Power, im.Time, v, pe.Vmax); !c.check(feq(slot.Energy, want, eps)) {
+				c.r.add(KindEnergy, m, slot.Energy, want,
+					"task %q records energy %g, recomputed %g at %gV", task.Name, slot.Energy, want, v)
+			}
+		default:
+			// DVS hardware: the Fig. 5 transformation folds core executions
+			// into shared-supply segments; the slot keeps the lowest level
+			// and the summed per-segment energy, so only bounds are exact.
+			lo := energy.TaskEnergy(im.Power, im.Time, pe.Levels[slot.VoltIdx], pe.Vmax)
+			hi := im.Power * im.Time
+			if !c.check(slot.Energy >= lo*(1-eps)-1e-21 && slot.Energy <= hi*(1+eps)+1e-21) {
+				c.r.add(KindEnergy, m, slot.Energy, hi,
+					"task %q on DVS hardware %q records energy %g outside [%g, %g]",
+					task.Name, pe.Name, slot.Energy, lo, hi)
+			}
+			if !c.check(dur >= im.Time*(1-eps)-tol) {
+				c.r.add(KindVoltage, m, dur, im.Time,
+					"task %q on DVS hardware %q executes for %g, less than the nominal %g",
+					task.Name, pe.Name, dur, im.Time)
+			}
+		}
+	}
+
+	// Communications: routing, bandwidth-derived times, energies.
+	unroutableHere := 0
+	for ei := range sc.Comms {
+		cs := &sc.Comms[ei]
+		e := g.Edge(model.EdgeID(ei))
+		if !c.check(finite(cs.Start) && finite(cs.Finish) && finite(cs.Time) && finite(cs.Energy)) {
+			c.r.add(KindStructure, m, 0, 0, "edge %d slot has non-finite times or energy", ei)
+			continue
+		}
+		src, dst := c.sol.Mapping[m][e.Src], c.sol.Mapping[m][e.Dst]
+		if s.Arch.PE(src) == nil || s.Arch.PE(dst) == nil {
+			continue // already a KindMapping violation
+		}
+		switch {
+		case src == dst:
+			if !c.check(cs.Routed && cs.CL == model.NoCL) {
+				c.r.add(KindRouting, m, float64(cs.CL), float64(model.NoCL),
+					"intra-PE edge %d carries link %d", ei, cs.CL)
+			}
+			if !c.check(feq(cs.Energy, 0, eps)) {
+				c.r.add(KindEnergy, m, cs.Energy, 0, "intra-PE edge %d records energy %g", ei, cs.Energy)
+			}
+		case !cs.Routed:
+			unroutableHere++
+			if !c.check(len(s.Arch.LinksBetween(src, dst)) == 0) {
+				c.r.add(KindRouting, m, float64(src), float64(dst),
+					"edge %d claims PE %q and PE %q are unconnected, but a link exists",
+					ei, s.Arch.PE(src).Name, s.Arch.PE(dst).Name)
+			}
+			if !c.check(feq(cs.Energy, 0, eps)) {
+				c.r.add(KindEnergy, m, cs.Energy, 0, "unroutable edge %d records energy %g", ei, cs.Energy)
+			}
+		default:
+			cl := s.Arch.CL(cs.CL)
+			if !c.check(cl != nil && cl.Connects(src, dst)) {
+				c.r.add(KindRouting, m, float64(cs.CL), 0,
+					"edge %d routed over link %d which does not connect PE %q and PE %q",
+					ei, cs.CL, s.Arch.PE(src).Name, s.Arch.PE(dst).Name)
+				continue
+			}
+			if want := energy.CommTime(e.Bytes, cl); !c.check(feq(cs.Time, want, eps)) {
+				c.r.add(KindRouting, m, cs.Time, want,
+					"edge %d transfers %g bytes over %q in %g, bandwidth implies %g",
+					ei, e.Bytes, cl.Name, cs.Time, want)
+			}
+			if want := energy.CommEnergy(cl.PowerActive, cs.Time); !c.check(feq(cs.Energy, want, eps)) {
+				c.r.add(KindEnergy, m, cs.Energy, want,
+					"edge %d records energy %g, link power implies %g", ei, cs.Energy, want)
+			}
+			if timingActive(cs) {
+				if !c.check(feq(cs.Finish-cs.Start, cs.Time, eps)) {
+					c.r.add(KindStructure, m, cs.Finish-cs.Start, cs.Time,
+						"edge %d occupies interval of length %g but transfers for %g",
+						ei, cs.Finish-cs.Start, cs.Time)
+				}
+				if !c.check(cs.Finish <= mode.Period+tol) {
+					c.r.add(KindContainment, m, cs.Finish, mode.Period,
+						"edge %d finishes at %g, beyond the hyper-period %g", ei, cs.Finish, mode.Period)
+				}
+			}
+		}
+	}
+	if !c.check(sc.Unroutable == unroutableHere) {
+		c.r.add(KindStructure, m, float64(sc.Unroutable), float64(unroutableHere),
+			"schedule counts %d unroutable communications, %d slots are unrouted",
+			sc.Unroutable, unroutableHere)
+	}
+	c.unroutable += unroutableHere
+
+	// Precedence: every edge orders source task, message and sink task.
+	for ei := range sc.Comms {
+		cs := &sc.Comms[ei]
+		e := g.Edge(model.EdgeID(ei))
+		if !sane[e.Src] || !sane[e.Dst] {
+			continue
+		}
+		srcSlot, dstSlot := &sc.Tasks[e.Src], &sc.Tasks[e.Dst]
+		if timingActive(cs) {
+			if !c.check(cs.Start >= srcSlot.Finish-tol && dstSlot.Start >= cs.Finish-tol) {
+				c.r.add(KindPrecedence, m, dstSlot.Start, cs.Finish,
+					"edge %q->%q violated: src finishes %g, message [%g, %g], dst starts %g",
+					g.Task(e.Src).Name, g.Task(e.Dst).Name,
+					srcSlot.Finish, cs.Start, cs.Finish, dstSlot.Start)
+			}
+		} else if !c.check(dstSlot.Start >= srcSlot.Finish-tol) {
+			c.r.add(KindPrecedence, m, dstSlot.Start, srcSlot.Finish,
+				"edge %q->%q violated: src finishes %g, dst starts %g",
+				g.Task(e.Src).Name, g.Task(e.Dst).Name, srcSlot.Finish, dstSlot.Start)
+		}
+	}
+
+	c.exclusivity(m, sane)
+
+	// Aggregate the mode's energy and static power for the Eq. (1) check.
+	dyn := 0.0
+	for ti := range sc.Tasks {
+		dyn += sc.Tasks[ti].Energy
+	}
+	for ei := range sc.Comms {
+		dyn += sc.Comms[ei].Energy
+	}
+	c.dynamic[m] = dyn
+
+	activePE := make([]bool, len(s.Arch.PEs))
+	for pe := range activePE {
+		activePE[pe] = c.sol.Mapping.UsesPE(m, model.PEID(pe))
+	}
+	activeCL := make([]bool, len(s.Arch.CLs))
+	for ei := range sc.Comms {
+		if timingActive(&sc.Comms[ei]) {
+			activeCL[sc.Comms[ei].CL] = true
+		}
+	}
+	c.static[m] = energy.StaticPower(s.Arch, activePE, activeCL)
+}
+
+// exclusivity asserts that no two activities overlap on a sequential
+// resource: a software PE, one hardware core instance, or a link.
+func (c *certifier) exclusivity(m model.ModeID, sane []bool) {
+	s := c.sys
+	mode := s.App.Mode(m)
+	sc := c.sol.Schedules[m]
+	tol := c.opts.TimeEpsilon * mode.Period
+
+	type resKey struct {
+		pe   model.PEID
+		tt   model.TaskTypeID // -1 on software PEs
+		core int              // -1 on software PEs
+	}
+	type interval struct {
+		start, finish float64
+		name          string
+	}
+	groups := make(map[resKey][]interval)
+	var keys []resKey
+	for ti := range sc.Tasks {
+		if !sane[ti] {
+			continue
+		}
+		slot := &sc.Tasks[ti]
+		pe := s.Arch.PE(slot.PE)
+		if pe == nil {
+			continue
+		}
+		k := resKey{slot.PE, -1, -1}
+		if pe.Class.IsHardware() {
+			k = resKey{slot.PE, mode.Graph.Task(model.TaskID(ti)).Type, slot.Core}
+		}
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], interval{slot.Start, slot.Finish, mode.Graph.Task(model.TaskID(ti)).Name})
+	}
+	clGroups := make(map[model.CLID][]interval)
+	var clIDs []model.CLID
+	for ei := range sc.Comms {
+		cs := &sc.Comms[ei]
+		if !timingActive(cs) {
+			continue
+		}
+		if _, seen := clGroups[cs.CL]; !seen {
+			clIDs = append(clIDs, cs.CL)
+		}
+		clGroups[cs.CL] = append(clGroups[cs.CL], interval{cs.Start, cs.Finish, fmt.Sprintf("edge %d", ei)})
+	}
+
+	overlapScan := func(ivs []interval, resource string) {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+		for i := 1; i < len(ivs); i++ {
+			prev, cur := ivs[i-1], ivs[i]
+			if !c.check(cur.start >= prev.finish-tol) {
+				c.r.add(KindOverlap, m, cur.start, prev.finish,
+					"%s and %s overlap on %s ([%g, %g] vs [%g, %g])",
+					prev.name, cur.name, resource, prev.start, prev.finish, cur.start, cur.finish)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.pe != b.pe {
+			return a.pe < b.pe
+		}
+		if a.tt != b.tt {
+			return a.tt < b.tt
+		}
+		return a.core < b.core
+	})
+	for _, k := range keys {
+		res := fmt.Sprintf("PE %q", s.Arch.PE(k.pe).Name)
+		if k.core >= 0 {
+			res = fmt.Sprintf("core %d of type %q on PE %q", k.core, s.Lib.Type(k.tt).Name, s.Arch.PE(k.pe).Name)
+		}
+		overlapScan(groups[k], res)
+	}
+	sort.Slice(clIDs, func(i, j int) bool { return clIDs[i] < clIDs[j] })
+	for _, cl := range clIDs {
+		overlapScan(clGroups[cl], fmt.Sprintf("link %q", s.Arch.CL(cl).Name))
+	}
+}
+
+// area re-derives the occupied silicon of every hardware PE from the core
+// allocation and the library, independent of the allocator's own
+// bookkeeping.
+func (c *certifier) area() {
+	s := c.sys
+	if c.sol.Cores == nil {
+		return
+	}
+	for _, pe := range s.Arch.PEs {
+		if !pe.Class.IsHardware() {
+			continue
+		}
+		worst, worstMode := 0, model.ModeID(-1)
+		for m := range s.App.Modes {
+			used := 0
+			for _, tt := range s.Lib.Types {
+				im, ok := tt.ImplOn(pe.ID)
+				if !ok {
+					continue
+				}
+				if n := c.sol.Cores.Instances(model.ModeID(m), pe.ID, tt.ID); n > 0 {
+					used += n * im.Area
+				}
+			}
+			if used > worst {
+				worst, worstMode = used, model.ModeID(m)
+			}
+		}
+		if !c.check(worst <= pe.Area) {
+			c.r.add(KindArea, worstMode, float64(worst), float64(pe.Area),
+				"allocated cores occupy %d cells on PE %q (budget %d)", worst, pe.Name, pe.Area)
+		}
+	}
+}
+
+// transitions recomputes every mode-transition time from the FPGA working
+// sets and checks both the tTmax constraints and the reported values.
+func (c *certifier) transitions() {
+	s := c.sys
+	if c.sol.Cores == nil {
+		return
+	}
+	eps := c.opts.PowerEpsilon
+	for i, tr := range s.App.Transitions {
+		worst := 0.0
+		for _, pe := range s.Arch.PEs {
+			if pe.Class != model.FPGA || pe.ReconfigTime <= 0 {
+				continue
+			}
+			swapIn := 0
+			for _, tt := range s.Lib.Types {
+				if _, ok := tt.ImplOn(pe.ID); !ok {
+					continue
+				}
+				to := c.sol.Cores.Instances(tr.To, pe.ID, tt.ID)
+				from := c.sol.Cores.Instances(tr.From, pe.ID, tt.ID)
+				if to > from {
+					swapIn += to - from
+				}
+			}
+			if t := float64(swapIn) * pe.ReconfigTime; t > worst {
+				worst = t
+			}
+		}
+		if c.sol.ReportedTransTimes != nil {
+			if got := c.sol.ReportedTransTimes[i]; !c.check(feq(got, worst, eps)) {
+				c.r.add(KindReport, -1, got, worst,
+					"transition %d->%d reports time %g, recomputed %g", tr.From, tr.To, got, worst)
+			}
+		}
+		if tr.MaxTime > 0 && !c.check(worst <= tr.MaxTime*(1+eps)) {
+			c.r.add(KindTransition, -1, worst, tr.MaxTime,
+				"transition %d->%d takes %g, limit tTmax is %g", tr.From, tr.To, worst, tr.MaxTime)
+		}
+	}
+}
+
+// power recomputes Eq. (1) from the certified per-mode aggregates and
+// checks the reported values.
+func (c *certifier) power() {
+	s := c.sys
+	eps := c.opts.PowerEpsilon
+	total := 0.0
+	for m, mode := range s.App.Modes {
+		p := mode.Prob
+		if c.sol.Probs != nil {
+			p = c.sol.Probs[m]
+		}
+		mp := energy.ModePower{DynamicEnergy: c.dynamic[m], Period: mode.Period, StaticPower: c.static[m]}
+		total += mp.Total() * p
+		if c.sol.ReportedModePowers == nil {
+			continue
+		}
+		rep := c.sol.ReportedModePowers[m]
+		if !c.check(feq(rep.DynamicEnergy, c.dynamic[m], eps)) {
+			c.r.add(KindEnergy, model.ModeID(m), rep.DynamicEnergy, c.dynamic[m],
+				"mode %q reports dynamic energy %g, recomputed %g", mode.Name, rep.DynamicEnergy, c.dynamic[m])
+		}
+		if !c.check(feq(rep.StaticPower, c.static[m], eps)) {
+			c.r.add(KindEnergy, model.ModeID(m), rep.StaticPower, c.static[m],
+				"mode %q reports static power %g, recomputed %g", mode.Name, rep.StaticPower, c.static[m])
+		}
+		if !c.check(feq(rep.Period, mode.Period, eps)) {
+			c.r.add(KindReport, model.ModeID(m), rep.Period, mode.Period,
+				"mode %q reports period %g, specification says %g", mode.Name, rep.Period, mode.Period)
+		}
+	}
+	if !c.check(feq(c.sol.ReportedPower, total, eps)) {
+		c.r.add(KindEnergy, -1, c.sol.ReportedPower, total,
+			"reported average power %g disagrees with the Eq. (1) recomputation %g", c.sol.ReportedPower, total)
+	}
+}
+
+// claim cross-checks the solution's feasibility claim against what the
+// certifier actually found.
+func (c *certifier) claim() {
+	constraint := 0
+	for _, v := range c.r.Violations {
+		if v.Kind.Constraint() {
+			constraint++
+		}
+	}
+	if c.sol.ClaimFeasible {
+		if !c.check(c.unroutable == 0) {
+			c.r.add(KindReport, -1, float64(c.unroutable), 0,
+				"solution claims feasibility with %d unroutable communication(s)", c.unroutable)
+		}
+		return
+	}
+	if !c.check(constraint > 0 || c.unroutable > 0) {
+		c.r.add(KindReport, -1, float64(constraint), 1,
+			"solution claims infeasibility but no constraint violation was found")
+	}
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,206 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"momosyn/internal/model"
+	"momosyn/internal/synth"
+	"momosyn/internal/verify"
+)
+
+// testSystem builds a small two-mode system exercising every certifier
+// dimension: a DVS software processor, a non-DVS FPGA with an area budget
+// and reconfiguration time, a shared bus, inter-PE communications and
+// constrained transitions in both directions.
+func testSystem(t *testing.T) *model.System {
+	t.Helper()
+	b := model.NewBuilder("certify-test")
+	b.AddPE(model.PE{Name: "cpu", Class: model.GPP, DVS: true,
+		Vmax: 3.3, Vt: 0.8, Levels: []float64{1.2, 1.8, 2.5, 3.3},
+		StaticPower: 0.001})
+	b.AddPE(model.PE{Name: "hw", Class: model.FPGA, Area: 500,
+		ReconfigTime: 0.001, StaticPower: 0.002})
+	b.AddCL(model.CL{Name: "bus", BytesPerSec: 1e6, PowerActive: 0.005,
+		StaticPower: 0.0005}, "cpu", "hw")
+	b.AddType("tA", model.ImplSpec{PE: "cpu", Time: 0.001, Power: 0.005})
+	b.AddType("tB",
+		model.ImplSpec{PE: "cpu", Time: 0.002, Power: 0.004},
+		model.ImplSpec{PE: "hw", Time: 0.0005, Power: 0.006, Area: 200})
+	b.AddType("tC", model.ImplSpec{PE: "hw", Time: 0.001, Power: 0.008, Area: 150})
+
+	b.BeginMode("m0", 0.6, 0.050)
+	b.AddTask("a", "tA", 0)
+	b.AddTask("b", "tB", 0)
+	b.AddTask("c", "tC", 0)
+	b.AddTask("d", "tA", 0)
+	b.AddEdge("a", "b", 1000)
+	b.AddEdge("b", "c", 500)
+	b.AddEdge("a", "d", 0)
+
+	b.BeginMode("m1", 0.4, 0.040)
+	b.AddTask("x", "tB", 0)
+	b.AddTask("y", "tC", 0)
+	b.AddTask("z", "tA", 0)
+	b.AddEdge("x", "y", 800)
+
+	b.AddTransition("m0", "m1", 0.010)
+	b.AddTransition("m1", "m0", 0.010)
+
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatalf("testSystem: %v", err)
+	}
+	return sys
+}
+
+// testMapping is a hand-feasible assignment: m0 keeps a, b, d on the cpu
+// and c on hardware; m1 puts x, y on hardware and z on the cpu.
+func testMapping() model.Mapping {
+	return model.Mapping{
+		{0, 0, 1, 0},
+		{1, 1, 0},
+	}
+}
+
+// evaluateGood produces the known-good evaluation both test files build
+// their fault injections on.
+func evaluateGood(t *testing.T, sys *model.System, useDVS bool) *synth.Evaluation {
+	t.Helper()
+	eval := &synth.Evaluator{Sys: sys, UseDVS: useDVS, Weights: synth.DefaultWeights()}
+	ev, err := eval.Evaluate(testMapping())
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if !ev.Feasible() {
+		t.Fatalf("hand mapping must be feasible, got lateness=%g area=%g trans=%g unroutable=%d",
+			ev.TimingPenalty, ev.AreaPenalty, ev.TransPenalty, ev.Unroutable)
+	}
+	return ev
+}
+
+func TestCertifyCleanResult(t *testing.T) {
+	sys := testSystem(t)
+	for _, dvs := range []bool{false, true} {
+		ev := evaluateGood(t, sys, dvs)
+		rep := synth.CertifyEvaluation(sys, ev, nil, verify.Options{})
+		if !rep.Certified() {
+			t.Errorf("dvs=%v: clean result not certified:\n%s", dvs, rep)
+		}
+		if rep.Checks == 0 {
+			t.Errorf("dvs=%v: certifier evaluated no checks", dvs)
+		}
+		if !strings.Contains(rep.String(), "certified") {
+			t.Errorf("dvs=%v: report string malformed: %q", dvs, rep.String())
+		}
+	}
+}
+
+func TestCertifyEmptySolutionFailsStructurally(t *testing.T) {
+	sys := testSystem(t)
+	rep := verify.Certify(sys, verify.Solution{}, verify.Options{})
+	if rep.Certified() {
+		t.Fatal("empty solution must not certify")
+	}
+	if rep.Count(verify.KindStructure) == 0 {
+		t.Errorf("empty solution must fail structurally, got:\n%s", rep)
+	}
+	// CertifyEvaluation tolerates a nil evaluation the same way.
+	rep = synth.CertifyEvaluation(sys, nil, nil, verify.Options{})
+	if rep.Certified() {
+		t.Fatal("nil evaluation must not certify")
+	}
+}
+
+// TestCertifyInfeasibleClaimTolerated: an honestly infeasible design (a
+// deadline no mapping can hold) certifies when it admits infeasibility,
+// and fails with the same violations when it claims feasibility.
+func TestCertifyInfeasibleClaimTolerated(t *testing.T) {
+	b := model.NewBuilder("tight")
+	b.AddPE(model.PE{Name: "cpu", Class: model.GPP, Vmax: 3.3, Vt: 0.8, StaticPower: 0.001})
+	b.AddCL(model.CL{Name: "bus", BytesPerSec: 1e6, PowerActive: 0.005}, "cpu")
+	b.AddType("t", model.ImplSpec{PE: "cpu", Time: 0.010, Power: 0.001})
+	b.BeginMode("m", 1, 0.020)
+	b.AddTask("a", "t", 0.001) // 10ms execution against a 1ms deadline
+	sys, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := &synth.Evaluator{Sys: sys, Weights: synth.DefaultWeights()}
+	ev, err := eval.Evaluate(model.Mapping{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Feasible() {
+		t.Fatal("design must be infeasible")
+	}
+
+	rep := synth.CertifyEvaluation(sys, ev, nil, verify.Options{})
+	if !rep.Certified() {
+		t.Errorf("honest infeasibility must certify, got:\n%s", rep)
+	}
+	if rep.Count(verify.KindDeadline) == 0 {
+		t.Errorf("deadline violation must still be recorded, got:\n%s", rep)
+	}
+
+	// The same schedules under a feasibility claim must fail.
+	sol := verify.Solution{
+		Mapping:            ev.Mapping,
+		Schedules:          ev.Schedules,
+		Cores:              ev.Alloc,
+		ReportedPower:      ev.AvgPower,
+		ReportedModePowers: ev.ModePowers,
+		ReportedTransTimes: ev.TransTimes,
+		ClaimFeasible:      true,
+	}
+	if rep := verify.Certify(sys, sol, verify.Options{}); rep.Certified() {
+		t.Error("claiming feasibility over a deadline miss must not certify")
+	}
+}
+
+// TestCertifyReportedPowerMismatch pins the epsilon semantics: a relative
+// error beyond PowerEpsilon fails, one within it passes.
+func TestCertifyReportedPowerMismatch(t *testing.T) {
+	sys := testSystem(t)
+	ev := evaluateGood(t, sys, true)
+
+	sol := func(p float64) verify.Solution {
+		return verify.Solution{
+			Mapping: ev.Mapping, Schedules: ev.Schedules, Cores: ev.Alloc,
+			ReportedPower: p, ReportedModePowers: ev.ModePowers,
+			ReportedTransTimes: ev.TransTimes, ClaimFeasible: true,
+		}
+	}
+	if rep := verify.Certify(sys, sol(ev.AvgPower*1.01), verify.Options{}); rep.Count(verify.KindEnergy) == 0 {
+		t.Errorf("1%% power misreport must fail the energy check, got:\n%s", rep)
+	}
+	if rep := verify.Certify(sys, sol(ev.AvgPower*(1+1e-9)), verify.Options{}); !rep.Certified() {
+		t.Errorf("power within epsilon must certify, got:\n%s", rep)
+	}
+	// A loose epsilon accepts the 1% misreport.
+	loose := verify.Options{PowerEpsilon: 0.02}
+	if rep := verify.Certify(sys, sol(ev.AvgPower*1.01), loose); !rep.Certified() {
+		t.Errorf("1%% misreport within a 2%% epsilon must certify, got:\n%s", rep)
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	constraint := []verify.Kind{verify.KindContainment, verify.KindDeadline,
+		verify.KindArea, verify.KindTransition}
+	inconsistency := []verify.Kind{verify.KindStructure, verify.KindMapping,
+		verify.KindRouting, verify.KindPrecedence, verify.KindOverlap,
+		verify.KindVoltage, verify.KindEnergy, verify.KindReport}
+	for _, k := range constraint {
+		if !k.Constraint() {
+			t.Errorf("%v must be constraint-class", k)
+		}
+	}
+	for _, k := range inconsistency {
+		if k.Constraint() {
+			t.Errorf("%v must not be constraint-class", k)
+		}
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("%v lacks a name", k)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+#!/bin/sh
+# certify.sh — run every benchmark spec through `mmsynth -certify` at a
+# small GA budget, so the independent certifier oracle-checks a real
+# synthesis on the whole suite in CI time. Exit 0 (feasible) and exit 3
+# (honestly infeasible at this tiny budget) both count as certified; any
+# other code fails. A negative control then injects a fault and demands
+# exit 4, proving the certification path can actually fail.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"' EXIT
+go build -o "$BIN/mmsynth" ./cmd/mmsynth
+
+for spec in specs/*.spec; do
+    rc=0
+    "$BIN/mmsynth" -spec "$spec" -dvs -certify \
+        -pop 12 -gens 15 -stagnation 8 >/dev/null || rc=$?
+    case $rc in
+        0|3) echo "certified: $spec (exit $rc)" ;;
+        4)   echo "FAIL: $spec refused certification" >&2; exit 1 ;;
+        *)   echo "FAIL: $spec exited $rc" >&2; exit 1 ;;
+    esac
+done
+
+rc=0
+MMSYNTH_FAULT_INJECT=energy "$BIN/mmsynth" -spec specs/mul1.spec -dvs -certify \
+    -pop 12 -gens 15 -stagnation 8 >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 4 ]; then
+    echo "FAIL: injected energy fault exited $rc, want 4" >&2
+    exit 1
+fi
+echo "negative control: injected fault refused with exit 4"

@@ -14,10 +14,19 @@ go build ./...
 echo "==> go test -race"
 go test -race ./...
 
-# Fuzz smoke: a short native-fuzzing burst over the spec reader. The
-# minimise time must be capped — the default 60s minimiser can dwarf the
-# fuzz time itself on the ~30KB seed corpus entries.
+# Fuzz smoke: short native-fuzzing bursts over the untrusted-input readers
+# (spec files and checkpoints). The minimise time must be capped — the
+# default 60s minimiser can dwarf the fuzz time itself on the ~30KB seed
+# corpus entries.
 echo "==> fuzz smoke (specio.FuzzRead)"
 go test -run='^$' -fuzz=FuzzRead -fuzztime=5s -fuzzminimizetime=5s ./internal/specio
+
+echo "==> fuzz smoke (runctl.FuzzCheckpoint)"
+go test -run='^$' -fuzz=FuzzCheckpoint -fuzztime=5s -fuzzminimizetime=5s ./internal/runctl
+
+# Certification sweep: every benchmark spec through `mmsynth -certify` at
+# a small GA budget, plus a fault-injection negative control (exit 4).
+echo "==> certify (specs/ through mmsynth -certify)"
+./scripts/certify.sh
 
 echo "==> OK"
