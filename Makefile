@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz-smoke certify bench ci
+.PHONY: all build test race vet lint fuzz-smoke certify bench ci
 
 all: build
 
@@ -17,6 +17,11 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Domain invariant checkers (determinism, cancellation, numeric safety);
+# see docs/LINT.md. Exit 1 means findings, exit 2 usage/load error.
+lint:
+	$(GO) run ./cmd/mmlint ./...
 
 # Short native-fuzzing bursts over the untrusted-input readers (spec files
 # and checkpoints); the minimiser is capped so large seed-corpus entries

@@ -81,10 +81,10 @@ func BenchmarkFigure2(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := synth.Exhaustive(sys, false, nil); err != nil {
+		if _, err := synth.Exhaustive(nil, sys, false, nil); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := synth.Exhaustive(sys, false, synth.UniformProbs(sys)); err != nil {
+		if _, err := synth.Exhaustive(nil, sys, false, synth.UniformProbs(sys)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -98,7 +98,7 @@ func BenchmarkFigure3(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := synth.Exhaustive(sys, false, nil); err != nil {
+		if _, err := synth.Exhaustive(nil, sys, false, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,7 +19,7 @@ import (
 func buildTools(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, tool := range []string{"mmgen", "mmsynth", "mmbench", "mmsim"} {
+	for _, tool := range []string{"mmgen", "mmsynth", "mmbench", "mmsim", "mmlint"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		out, err := cmd.CombinedOutput()
 		if err != nil {
@@ -317,6 +317,57 @@ func TestCLICertifyExitCodes(t *testing.T) {
 		"-pop", "16", "-gens", "40", "-horizon", "30")
 	if code != 0 || !strings.Contains(out, "certification") {
 		t.Errorf("mmsim -certify: exit %d, output:\n%s", code, out)
+	}
+}
+
+// TestCLILintExitCodes pins mmlint's exit-code contract: 0 on a clean
+// tree, 1 when findings are reported, 2 on usage or load errors.
+func TestCLILintExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end test skipped in -short mode")
+	}
+	bin := buildTools(t)
+
+	// The repository itself must stay clean.
+	if out, code := runExit(t, bin, "mmlint", nil, "./..."); code != 0 {
+		t.Errorf("mmlint ./...: exit %d, want 0; output:\n%s", code, out)
+	}
+
+	// The exhaustenum fixture carries a deliberate finding (its package sits
+	// under testdata, so ./... above does not see it).
+	out, code := runExit(t, bin, "mmlint", nil, "./internal/lint/testdata/src/exhaustenum")
+	if code != 1 {
+		t.Errorf("mmlint on fixture: exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[exhaustenum]") || !strings.Contains(out, "not exhaustive") {
+		t.Errorf("fixture finding not reported:\n%s", out)
+	}
+
+	// Restricting to an analyzer that has nothing to say there is clean.
+	if out, code := runExit(t, bin, "mmlint", nil, "-only", "floateq", "./internal/lint/testdata/src/exhaustenum"); code != 0 {
+		t.Errorf("mmlint -only floateq on fixture: exit %d, want 0; output:\n%s", code, out)
+	}
+
+	// Usage errors: unknown analyzer, unknown flag, unloadable pattern.
+	if out, code := runExit(t, bin, "mmlint", nil, "-only", "nosuch", "./..."); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2; output:\n%s", code, out)
+	}
+	if out, code := runExit(t, bin, "mmlint", nil, "-bogus"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2; output:\n%s", code, out)
+	}
+	if out, code := runExit(t, bin, "mmlint", nil, "./no/such/tree"); code != 2 {
+		t.Errorf("bad pattern: exit %d, want 2; output:\n%s", code, out)
+	}
+
+	// -list names every analyzer and exits 0.
+	out, code = runExit(t, bin, "mmlint", nil, "-list")
+	if code != 0 {
+		t.Errorf("mmlint -list: exit %d, want 0", code)
+	}
+	for _, name := range []string{"detrand", "ctxflow", "floateq", "guardgo", "exhaustenum"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("mmlint -list missing %q:\n%s", name, out)
+		}
 	}
 }
 

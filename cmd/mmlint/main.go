@@ -1,0 +1,71 @@
+// Command mmlint runs the repository's domain invariant checkers
+// (internal/lint) over Go packages.
+//
+// Usage:
+//
+//	mmlint [-only name,name] [-list] [packages...]
+//
+// With no package patterns it analyzes ./... . Exit codes follow the lint
+// convention: 0 when clean, 1 when findings were reported, 2 on usage or
+// load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"momosyn/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("mmlint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mmlint [-only name,name] [-list] [packages...]\n")
+		fs.PrintDefaults()
+	}
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(*only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmlint: %v\n", err)
+			return 2
+		}
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	pkgs, err := lint.Load(".", fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmlint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mmlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

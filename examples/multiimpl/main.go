@@ -59,7 +59,7 @@ func main() {
 
 	// Confirm with exhaustive search and with the GA that Fig. 3c is the
 	// global optimum.
-	best, err := synth.Exhaustive(sys, false, nil)
+	best, err := synth.Exhaustive(nil, sys, false, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

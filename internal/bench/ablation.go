@@ -52,6 +52,8 @@ func (a Ablation) String() string {
 func (a Ablation) options(useDVS bool) synth.Options {
 	opts := synth.Options{UseDVS: useDVS}
 	switch a {
+	case AblFull:
+		// The reference configuration: no feature disabled.
 	case AblNoImprovement:
 		opts.NoImprovementMutations = true
 	case AblNoReplicas:

@@ -55,14 +55,14 @@ func TestFigure2Exhaustive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bestTrue, err := synth.Exhaustive(sys, false, nil)
+	bestTrue, err := synth.Exhaustive(nil, sys, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := Figure2MappingC(sys); !bestTrue.Mapping.Equal(want) {
 		t.Errorf("true-probability optimum = %v, want Fig. 2c %v", bestTrue.Mapping, want)
 	}
-	bestUni, err := synth.Exhaustive(sys, false, synth.UniformProbs(sys))
+	bestUni, err := synth.Exhaustive(nil, sys, false, synth.UniformProbs(sys))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestFigure3Duplication(t *testing.T) {
 	if got := dup.ModePowers[1].StaticPower; !energy.ApproxEqual(got, pe0.StaticPower, 1e-12) {
 		t.Errorf("mode 2 static power %.6f mW, want PE0-only %.6f mW", got*1e3, pe0.StaticPower*1e3)
 	}
-	best, err := synth.Exhaustive(sys, false, nil)
+	best, err := synth.Exhaustive(nil, sys, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -116,6 +116,13 @@ func RunCell(sys *model.System, useDVS, neglect bool, cfg HarnessConfig) (CellSt
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			// Panic barrier: a panicking repetition must surface as that
+			// repetition's error, not kill the whole study.
+			defer func() {
+				if p := recover(); p != nil {
+					outs[r] = outcome{err: fmt.Errorf("rep %d: panic: %v", r, p)}
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			seed := cfg.BaseSeed + int64(r)*7919

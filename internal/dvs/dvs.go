@@ -48,8 +48,11 @@ func Transform(slots []sched.TaskSlot) []Segment {
 		evs = append(evs, ev{slots[i].Start, +1, i}, ev{slots[i].Finish, -1, i})
 	}
 	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].t != evs[j].t {
-			return evs[i].t < evs[j].t
+		switch {
+		case evs[i].t < evs[j].t:
+			return true
+		case evs[j].t < evs[i].t:
+			return false
 		}
 		// Ends before starts so zero-length overlaps do not merge segments.
 		return evs[i].delta < evs[j].delta
@@ -280,8 +283,11 @@ func buildGraph(s *model.System, sc *sched.Schedule, cfg Config) *graph {
 	}
 	for cl, refs := range clSlots {
 		sort.Slice(refs, func(i, j int) bool {
-			if refs[i].start != refs[j].start {
-				return refs[i].start < refs[j].start
+			switch {
+			case refs[i].start < refs[j].start:
+				return true
+			case refs[j].start < refs[i].start:
+				return false
 			}
 			return refs[i].node < refs[j].node
 		})
@@ -335,8 +341,11 @@ func buildGraph(s *model.System, sc *sched.Schedule, cfg Config) *graph {
 			a, b := chain[i], chain[j]
 			sa := sc.Tasks[g.nodes[a].task].Start
 			sb := sc.Tasks[g.nodes[b].task].Start
-			if sa != sb {
-				return sa < sb
+			switch {
+			case sa < sb:
+				return true
+			case sb < sa:
+				return false
 			}
 			return a < b
 		})

@@ -178,7 +178,7 @@ func BreakEvenVoltage(tmin, budget, vmax, vt float64) float64 {
 // (positive when improved < base), matching the paper's "Reduc. (%)"
 // columns.
 func RelativeReduction(base, improved float64) float64 {
-	if base == 0 {
+	if model.ApproxEqual(base, 0, 0) {
 		return 0
 	}
 	return (base - improved) / base * 100

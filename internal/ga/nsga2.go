@@ -1,6 +1,7 @@
 package ga
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -63,7 +64,14 @@ type mindividual struct {
 // Optional seed genomes are injected into the initial population (useful
 // for anchoring the extremes of the trade-off, e.g. the all-software
 // mapping); the remainder is random.
-func RunNSGA2(p MultiProblem, cfg Config, rng *rand.Rand, seeds ...[]int) *ParetoResult {
+//
+// Cancelling ctx stops the evolution at the next generation boundary; the
+// front of the population evolved so far is still returned. A nil ctx runs
+// to completion.
+func RunNSGA2(ctx context.Context, p MultiProblem, cfg Config, rng *rand.Rand, seeds ...[]int) *ParetoResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults(p.GenomeLen())
 	evals := 0
 	eval := func(g []int) []float64 {
@@ -85,6 +93,9 @@ func RunNSGA2(p MultiProblem, cfg Config, rng *rand.Rand, seeds ...[]int) *Paret
 
 	gen := 0
 	for ; gen < cfg.MaxGenerations; gen++ {
+		if ctx.Err() != nil {
+			break
+		}
 		// Offspring via binary tournaments on (rank, crowding).
 		offspring := make([]mindividual, 0, cfg.PopSize)
 		for len(offspring) < cfg.PopSize {

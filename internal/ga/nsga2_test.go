@@ -44,7 +44,7 @@ func TestDominates(t *testing.T) {
 
 func TestNSGA2FrontIsNonDominated(t *testing.T) {
 	p := biObjective{n: 12}
-	res := RunNSGA2(p, Config{PopSize: 40, MaxGenerations: 40}, rand.New(rand.NewSource(1)))
+	res := RunNSGA2(nil, p, Config{PopSize: 40, MaxGenerations: 40}, rand.New(rand.NewSource(1)))
 	if len(res.Front) == 0 {
 		t.Fatal("empty front")
 	}
@@ -62,7 +62,7 @@ func TestNSGA2FrontIsNonDominated(t *testing.T) {
 
 func TestNSGA2FrontSpreads(t *testing.T) {
 	p := biObjective{n: 12}
-	res := RunNSGA2(p, Config{PopSize: 60, MaxGenerations: 60}, rand.New(rand.NewSource(2)))
+	res := RunNSGA2(nil, p, Config{PopSize: 60, MaxGenerations: 60}, rand.New(rand.NewSource(2)))
 	// The true front is x in {0, 1/12, ..., 1}; expect wide coverage:
 	// both extremes plus several interior points.
 	lo, hi := math.Inf(1), math.Inf(-1)
@@ -84,7 +84,7 @@ func TestNSGA2FrontSpreads(t *testing.T) {
 
 func TestNSGA2FrontSortedAndDeduped(t *testing.T) {
 	p := biObjective{n: 8}
-	res := RunNSGA2(p, Config{PopSize: 40, MaxGenerations: 40}, rand.New(rand.NewSource(3)))
+	res := RunNSGA2(nil, p, Config{PopSize: 40, MaxGenerations: 40}, rand.New(rand.NewSource(3)))
 	for i := 1; i < len(res.Front); i++ {
 		if res.Front[i].Objectives[0] < res.Front[i-1].Objectives[0] {
 			t.Fatal("front not sorted by first objective")
@@ -99,8 +99,8 @@ func TestNSGA2FrontSortedAndDeduped(t *testing.T) {
 func TestNSGA2Deterministic(t *testing.T) {
 	p := biObjective{n: 10}
 	cfg := Config{PopSize: 20, MaxGenerations: 20}
-	a := RunNSGA2(p, cfg, rand.New(rand.NewSource(9)))
-	b := RunNSGA2(p, cfg, rand.New(rand.NewSource(9)))
+	a := RunNSGA2(nil, p, cfg, rand.New(rand.NewSource(9)))
+	b := RunNSGA2(nil, p, cfg, rand.New(rand.NewSource(9)))
 	if len(a.Front) != len(b.Front) {
 		t.Fatalf("front sizes differ: %d vs %d", len(a.Front), len(b.Front))
 	}
@@ -129,7 +129,7 @@ func (p singleOpt) Objectives(g []int) []float64 {
 
 func TestNSGA2SingleObjective(t *testing.T) {
 	p := singleOpt{n: 10}
-	res := RunNSGA2(p, Config{PopSize: 30, MaxGenerations: 60}, rand.New(rand.NewSource(4)))
+	res := RunNSGA2(nil, p, Config{PopSize: 30, MaxGenerations: 60}, rand.New(rand.NewSource(4)))
 	if len(res.Front) != 1 {
 		t.Fatalf("single-objective front size = %d, want 1", len(res.Front))
 	}

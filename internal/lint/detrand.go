@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// Detrand forbids non-reproducible randomness in the stochastic kernels.
+//
+// The GA/scheduling/DVS loop is only checkpoint/resumable because every
+// random draw flows through an injected *rand.Rand backed by the
+// serialisable runctl.Source: the checkpoint stores the stream position and
+// a resumed run replays the exact stream of the uninterrupted one
+// (docs/RUNCTL.md). A single call to a math/rand top-level function draws
+// from the shared global stream whose position is invisible to the
+// checkpoint, and a time-seeded source makes two runs with equal seeds
+// diverge. Both silently break the resume ≡ uninterrupted guarantee and
+// the determinism regression test.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid the global math/rand stream and wall-clock-seeded sources " +
+		"in the stochastic synthesis kernels; randomness must be a *rand.Rand " +
+		"threaded from the caller (ultimately runctl's serialisable source)",
+	Packages: regexp.MustCompile(`(^|/)internal/(synth|ga|sched|dvs|sim|gen)($|/)`),
+	Run:      runDetrand,
+}
+
+// detrandAllowed are the math/rand top-level functions that construct
+// explicitly-seeded state rather than drawing from the global stream.
+var detrandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath := selectorPkgPath(pass.Info, sel)
+			name := sel.Sel.Name
+
+			// Any source constructor fed from the wall clock is
+			// non-reproducible, whichever package provides it.
+			if name == "NewSource" || name == "New" {
+				for _, arg := range call.Args {
+					if containsTimeNow(pass.Info, arg) {
+						pass.Reportf(call.Pos(),
+							"time-seeded random source: seeds must come from configuration so equal seeds replay equal streams")
+						return true
+					}
+				}
+			}
+
+			if pkgPath == "math/rand" && !detrandAllowed[name] {
+				pass.Reportf(call.Pos(),
+					"global math/rand.%s draws from the process-wide stream and breaks checkpoint/resume determinism; thread a *rand.Rand instead", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

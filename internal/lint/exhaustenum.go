@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Exhaustenum requires switches over the module's enumeration types to be
+// exhaustive or to carry an explicit default.
+//
+// The domain enums — verify's violation kinds, faultinj's fault classes,
+// model's PE classes, the DVS graph node kinds — grow as the methodology
+// grows. A switch silently falling through when a new member appears is
+// how a new violation kind escapes certification or a new PE class gets no
+// cores allocated. Either enumerate every member (the analyzer then flags
+// the switch the day a member is added) or state the fallback explicitly
+// with a default clause.
+var Exhaustenum = &Analyzer{
+	Name: "exhaustenum",
+	Doc: "switches over in-module enum types (named basic types with >= 2 " +
+		"declared constants) must cover every member or carry an explicit " +
+		"default clause",
+	Run: runExhaustenum,
+}
+
+func runExhaustenum(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkEnumSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkEnumSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tagType := pass.Info.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !inModule(obj.Pkg().Path(), pass.ModulePath) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return
+	}
+	members := enumMembers(obj.Pkg(), named)
+	if len(members) < 2 {
+		return
+	}
+
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the fallback is stated
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: no static member accounting possible
+			}
+			for _, m := range members {
+				if constant.Compare(tv.Value, token.EQL, m.Val()) {
+					covered[m.Name()] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m.Name()] {
+			missing = append(missing, m.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(),
+			"switch over %s is not exhaustive: missing %s; add the cases or an explicit default stating the fallback",
+			obj.Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumMembers returns the package-level constants declared with exactly the
+// named type, in declaration-scope order.
+func enumMembers(pkg *types.Package, named *types.Named) []*types.Const {
+	var members []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			members = append(members, c)
+		}
+	}
+	return members
+}
+
+// inModule reports whether the package path belongs to the analyzed module.
+func inModule(pkgPath, module string) bool {
+	if module == "" {
+		return false
+	}
+	return pkgPath == module || strings.HasPrefix(pkgPath, module+"/")
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Floateq forbids raw equality between floating-point expressions in the
+// numeric core.
+//
+// The Eq. (1) power sums, schedule timestamps and voltage-scaling laws are
+// all accumulated floating-point quantities: two algebraically equal values
+// routinely differ in the last bits, so == / != encode "these two code
+// paths rounded identically" rather than the intended numeric statement.
+// The certifier's epsilon discipline (docs/VERIFY.md) exists precisely
+// because of this; comparisons must go through model.ApproxEqual (or an
+// explicit epsilon inequality). The x != x NaN idiom and compile-time
+// constant comparisons are exempt.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag == and != between floating-point expressions in the " +
+		"energy/power/schedule math; compare through model.ApproxEqual or an " +
+		"explicit epsilon instead",
+	Packages: regexp.MustCompile(`(^|/)internal/(energy|verify|dvs|sched|sim|synth|model|ga|gantt)($|/)`),
+	Run:      runFloateq,
+}
+
+func runFloateq(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Info.TypeOf(bin.X)) || !isFloat(pass.Info.TypeOf(bin.Y)) {
+				return true
+			}
+			// Both sides constant: evaluated at compile time, exact.
+			if pass.Info.Types[bin.X].Value != nil && pass.Info.Types[bin.Y].Value != nil {
+				return true
+			}
+			// x != x / x == x: the portable NaN test.
+			if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"floating-point %s comparison: accumulated float values differ in the last bits even when algebraically equal; use model.ApproxEqual or an explicit epsilon", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

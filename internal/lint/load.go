@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path   string
+	Dir    string
+	Module string
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with the go tool and type-checks every matched
+// non-standard-library package from source. Dependencies are imported from
+// the compiler's export data (`go list -export`), so loading stays fast and
+// needs no third-party machinery: the go toolchain itself is the build
+// system of record.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+
+	exports := make(map[string]string)
+	var targets []listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("go list %s: no packages matched", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, e := range targets {
+		if len(e.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", e.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range e.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", e.ImportPath, err)
+		}
+		module := ""
+		if e.Module != nil {
+			module = e.Module.Path
+		}
+		pkgs = append(pkgs, &Package{
+			Path:   e.ImportPath,
+			Dir:    e.Dir,
+			Module: module,
+			Fset:   fset,
+			Files:  files,
+			Types:  tpkg,
+			Info:   info,
+		})
+	}
+	return pkgs, nil
+}

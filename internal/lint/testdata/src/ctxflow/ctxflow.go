@@ -1,0 +1,71 @@
+// Package ctxflow is an analysistest-style fixture for the ctxflow
+// analyzer; want expectations mark the expected findings.
+package ctxflow
+
+import "context"
+
+// RunBad iterates but cannot be cancelled: flagged.
+func RunBad(n int) int { // want "exported iterating entrypoint RunBad must accept a context.Context"
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// RunGood accepts and polls a context: fine.
+func RunGood(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		total += i
+	}
+	return total
+}
+
+// Options carries the context the way synth.Options does.
+type Options struct {
+	Context context.Context
+	N       int
+}
+
+// RunStruct receives its context through the options struct: fine.
+func RunStruct(opts Options) int {
+	total := 0
+	for i := 0; i < opts.N; i++ {
+		total += i
+	}
+	return total
+}
+
+// RunDropped receives a context but never forwards or polls it: flagged.
+func RunDropped(ctx context.Context, n int) int { // want "context parameter ctx is dropped"
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// severed replaces the caller's context mid-chain: flagged.
+func severed(_ context.Context, n int) int {
+	ctx := context.Background() // want "context.Background.. severs the caller's cancellation chain"
+	total := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		total += i
+	}
+	return total
+}
+
+// fallback is the blessed nil-guard shape: fine.
+func fallback(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}

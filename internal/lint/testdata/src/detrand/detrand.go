@@ -1,0 +1,42 @@
+// Package detrand is an analysistest-style fixture for the detrand
+// analyzer; want expectations mark the expected findings.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Draw uses the process-wide global stream: flagged.
+func Draw() int {
+	return rand.Intn(10) // want "global math/rand.Intn"
+}
+
+// Shuffle also draws from the global stream: flagged.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle"
+}
+
+// WallClock seeds from the wall clock: two runs with equal configuration
+// diverge. Flagged.
+func WallClock() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want "time-seeded random source"
+	return rand.New(src)
+}
+
+// Threaded draws from an injected stream: fine.
+func Threaded(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// FromConfig constructs an explicitly-seeded source: fine.
+func FromConfig(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Suppressed demonstrates a reviewed //mmlint:ignore directive: the finding
+// is filtered, so no want expectation here.
+func Suppressed() int {
+	//mmlint:ignore detrand fixture exercising the suppression path
+	return rand.Int()
+}

@@ -1,0 +1,79 @@
+// Package exhaustenum is an analysistest-style fixture for the exhaustenum
+// analyzer; want expectations mark the expected findings.
+package exhaustenum
+
+// Kind is a three-member domain enum.
+type Kind int
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+)
+
+// Missing omits KindC with no default: flagged.
+func Missing(k Kind) string {
+	switch k { // want "switch over Kind is not exhaustive: missing KindC"
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	}
+	return ""
+}
+
+// Full covers every member: fine.
+func Full(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	case KindC:
+		return "c"
+	}
+	return ""
+}
+
+// Defaulted states its fallback explicitly: fine.
+func Defaulted(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	default:
+		return "other"
+	}
+}
+
+// Plain switches over a bare int, not an enum: exempt.
+func Plain(n int) string {
+	switch n {
+	case 0:
+		return "zero"
+	}
+	return ""
+}
+
+// Single is a one-member type, below the two-constant threshold: exempt.
+type Single int
+
+const OnlyOne Single = 0
+
+func UseSingle(s Single) string {
+	switch s {
+	case OnlyOne:
+		return "one"
+	}
+	return ""
+}
+
+// Suppressed demonstrates a reviewed //mmlint:ignore directive: the finding
+// is filtered, so no want expectation here.
+func Suppressed(k Kind) string {
+	//mmlint:ignore exhaustenum fixture exercising the suppression path
+	switch k {
+	case KindA:
+		return "a"
+	}
+	return ""
+}

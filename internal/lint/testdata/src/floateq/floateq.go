@@ -1,0 +1,50 @@
+// Package floateq is an analysistest-style fixture for the floateq
+// analyzer; want expectations mark the expected findings.
+package floateq
+
+import "momosyn/internal/model"
+
+const eps = 1e-9
+
+// Equal compares accumulated floats with ==: flagged.
+func Equal(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// NonZero compares a float against the constant 0 with !=: flagged (one
+// constant side does not make the comparison exact).
+func NonZero(p float64) bool {
+	return p != 0 // want "floating-point != comparison"
+}
+
+// Narrow also applies to float32: flagged.
+func Narrow(a, b float32) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// Approx compares through the shared epsilon helper: fine.
+func Approx(a, b float64) bool {
+	return model.ApproxEqual(a, b, eps)
+}
+
+// IsNaN is the portable NaN test: exempt.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Ints compares integers: exempt.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Consts is evaluated at compile time: exempt.
+func Consts() bool {
+	return 1.0 == 2.0
+}
+
+// Suppressed demonstrates the directive placed on the line above the
+// finding; it is filtered, so no want expectation here.
+func Suppressed(bits float64) bool {
+	//mmlint:ignore floateq exact bit-pattern comparison is intended here
+	return bits == 0.5
+}

@@ -1,0 +1,53 @@
+// Package guardgo is an analysistest-style fixture for the guardgo
+// analyzer; want expectations mark the expected findings.
+package guardgo
+
+import "sync"
+
+func work() {}
+
+// Bare launches unprotected goroutines: both flagged.
+func Bare() {
+	go work()   // want "goroutine is not panic-isolated"
+	go func() { // want "goroutine is not panic-isolated"
+		work()
+	}()
+}
+
+// LiteralBarrier opens the goroutine with a defer'd recover literal: fine.
+func LiteralBarrier() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		work()
+	}()
+	wg.Wait()
+}
+
+// NamedBarrier launches a same-package worker whose body opens with a
+// defer'd recover helper: fine.
+func NamedBarrier() {
+	go safeWorker()
+}
+
+func safeWorker() {
+	defer recoverToLog()
+	work()
+}
+
+func recoverToLog() {
+	_ = recover()
+}
+
+// Suppressed demonstrates a reviewed //mmlint:ignore directive: the finding
+// is filtered, so no want expectation here.
+func Suppressed() {
+	//mmlint:ignore guardgo fixture exercising the suppression path
+	go work()
+}

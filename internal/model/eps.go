@@ -1,0 +1,14 @@
+package model
+
+import "math"
+
+// ApproxEqual reports whether two floating-point quantities are equal up to
+// a relative tolerance eps, with a tiny absolute guard so values that are
+// both (numerically) zero compare equal at any eps. This is the single
+// equality predicate for accumulated float quantities — energies, powers,
+// schedule timestamps — where raw == would test "these code paths rounded
+// identically" instead of the intended numeric statement.
+func ApproxEqual(a, b, eps float64) bool {
+	d := math.Abs(a - b)
+	return d <= eps*math.Max(math.Abs(a), math.Abs(b))+1e-21
+}

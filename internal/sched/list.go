@@ -172,11 +172,17 @@ func ListSchedule(s *model.System, modeID model.ModeID, mapping model.Mapping, c
 		}
 		sort.Slice(ready, func(i, j int) bool {
 			a, b := ready[i], ready[j]
-			if mob.ALAP[a] != mob.ALAP[b] {
-				return mob.ALAP[a] < mob.ALAP[b]
+			switch {
+			case mob.ALAP[a] < mob.ALAP[b]:
+				return true
+			case mob.ALAP[b] < mob.ALAP[a]:
+				return false
 			}
-			if sa, sb := mob.Slack(a), mob.Slack(b); sa != sb {
-				return sa < sb
+			switch sa, sb := mob.Slack(a), mob.Slack(b); {
+			case sa < sb:
+				return true
+			case sb < sa:
+				return false
 			}
 			return a < b
 		})

@@ -141,11 +141,14 @@ func (m *Mobility) MaxOverlap(tasks []model.TaskID) int {
 	for i := 1; i < len(evs); i++ {
 		for j := i; j > 0; j-- {
 			a, b := evs[j-1], evs[j]
-			if b.t < a.t || (b.t == a.t && b.delta < a.delta) {
-				evs[j-1], evs[j] = b, a
-			} else {
+			before := b.t < a.t
+			if !before && !(a.t < b.t) { // equal times: order by delta
+				before = b.delta < a.delta
+			}
+			if !before {
 				break
 			}
+			evs[j-1], evs[j] = b, a
 		}
 	}
 	cur, best := 0, 0

@@ -104,6 +104,8 @@ func AllocateCoresWith(s *model.System, mapping model.Mapping, mob []*sched.Mobi
 			allocateASIC(s, mapping, mob, a, pe, noReplicas)
 		case model.FPGA:
 			allocateFPGA(s, mapping, mob, a, pe, noReplicas)
+		default:
+			// Software classes were filtered out by IsHardware above.
 		}
 	}
 	return a

@@ -228,7 +228,7 @@ func (e *Evaluator) Evaluate(mapping model.Mapping) (*Evaluation, error) {
 	e.penalties(ev)
 	ev.Fitness = ev.AvgPower * ev.TimingPenalty * ev.AreaPenalty * ev.TransPenalty
 	if !ev.Feasible() {
-		if e.ub == 0 {
+		if e.ub <= 0 {
 			e.ub = PowerUpperBound(s)
 		}
 		ev.Fitness += e.ub

@@ -37,7 +37,7 @@ func ExampleExhaustive() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	best, err := synth.Exhaustive(sys, false, synth.UniformProbs(sys))
+	best, err := synth.Exhaustive(nil, sys, false, synth.UniformProbs(sys))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -30,6 +31,9 @@ type ParetoOptions struct {
 	// Weights are the non-area penalty weights (timing, transition); the
 	// area dimension is an objective here, not a penalty.
 	Weights Weights
+	// Context, when non-nil, cancels the exploration at the next generation
+	// boundary; the front evolved so far is still returned.
+	Context context.Context
 }
 
 // multiProblem adapts the evaluator to the NSGA-II engine with two
@@ -67,7 +71,7 @@ func (p *multiProblem) objectives(genome []int) []float64 {
 	}
 	power := ev.AvgPower * ev.TimingPenalty * ev.TransPenalty
 	if ev.TimingPenalty > 1 || ev.TransPenalty > 1 || ev.Unroutable > 0 {
-		if p.eval.ub == 0 {
+		if p.eval.ub <= 0 {
 			p.eval.ub = PowerUpperBound(p.eval.Sys)
 		}
 		power += p.eval.ub
@@ -136,7 +140,11 @@ func Pareto(sys *model.System, opts ParetoOptions) ([]ParetoPoint, error) {
 	// a hardware-greedy mapping (every task on a hardware candidate where
 	// one exists).
 	allSW, allHW := extremeGenomes(sys, codec)
-	res := ga.RunNSGA2(prob, opts.GA, rand.New(rand.NewSource(opts.Seed)), allSW, allHW)
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := ga.RunNSGA2(ctx, prob, opts.GA, rand.New(rand.NewSource(opts.Seed)), allSW, allHW)
 
 	ub := PowerUpperBound(sys)
 	var out []ParetoPoint

@@ -351,8 +351,12 @@ func safeEvaluate(eval *Evaluator, m model.Mapping) (ev *Evaluation, err error) 
 // Exhaustive enumerates every mapping of the system and returns the best
 // evaluation by fitness. It is exponential in the number of tasks and is
 // intended for the paper's small motivational examples and for validating
-// the GA on tiny instances.
-func Exhaustive(sys *model.System, useDVS bool, probs []float64) (*Evaluation, error) {
+// the GA on tiny instances. Cancelling ctx aborts the enumeration with the
+// context's error; a nil ctx enumerates to completion.
+func Exhaustive(ctx context.Context, sys *model.System, useDVS bool, probs []float64) (*Evaluation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -371,6 +375,9 @@ func Exhaustive(sys *model.System, useDVS bool, probs []float64) (*Evaluation, e
 	genome := make([]int, codec.Len())
 	var best *Evaluation
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ev, err := eval.Evaluate(codec.Decode(genome))
 		if err != nil {
 			return nil, err

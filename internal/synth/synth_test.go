@@ -450,7 +450,7 @@ func TestSynthesizeFindsFeasibleLowPower(t *testing.T) {
 	if !res.Best.Feasible() {
 		t.Fatal("synthesis of an easy system must be feasible")
 	}
-	best, err := Exhaustive(sys, false, nil)
+	best, err := Exhaustive(nil, sys, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,7 +502,7 @@ func TestExhaustiveRejectsHugeSpace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Exhaustive(sys, false, nil); err == nil {
+	if _, err := Exhaustive(nil, sys, false, nil); err == nil {
 		t.Fatal("huge search space must be rejected")
 	}
 }

@@ -105,8 +105,10 @@ func (k Kind) Constraint() bool {
 	switch k {
 	case KindContainment, KindDeadline, KindArea, KindTransition:
 		return true
+	default:
+		// Every other kind is an internal inconsistency, never tolerable.
+		return false
 	}
-	return false
 }
 
 // Violation is one certification failure.
@@ -300,8 +302,7 @@ func Certify(s *model.System, sol Solution, opts Options) *Report {
 // feq compares two values with relative tolerance eps (a vanishing
 // absolute guard keeps exact zeros comparable).
 func feq(a, b, eps float64) bool {
-	d := math.Abs(a - b)
-	return d <= eps*math.Max(math.Abs(a), math.Abs(b))+1e-21
+	return model.ApproxEqual(a, b, eps)
 }
 
 // check counts one assertion; pass-through of its outcome.

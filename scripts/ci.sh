@@ -8,6 +8,12 @@ cd "$(dirname "$0")/.."
 echo "==> go vet"
 go vet ./...
 
+# Domain invariant checkers: determinism of the stochastic kernels,
+# cancellation flow, float-comparison discipline, goroutine panic barriers
+# and enum-switch exhaustiveness. See docs/LINT.md.
+echo "==> mmlint"
+go run ./cmd/mmlint ./...
+
 echo "==> go build"
 go build ./...
 
