@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz-smoke certify bench ci
+.PHONY: all build test race vet lint fuzz-smoke trace-smoke certify bench ci
 
 all: build
 
@@ -29,6 +29,12 @@ lint:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRead -fuzztime=5s -fuzzminimizetime=5s ./internal/specio
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpoint -fuzztime=5s -fuzzminimizetime=5s ./internal/runctl
+
+# Observability smoke: a traced mmsynth run on a small spec, every JSONL
+# event and the metrics snapshot validated by mmtrace. See
+# docs/OBSERVABILITY.md.
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 # Oracle-check the whole benchmark suite: every spec through
 # `mmsynth -certify` at a small GA budget, plus a fault-injection negative

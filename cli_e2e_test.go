@@ -19,7 +19,7 @@ import (
 func buildTools(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, tool := range []string{"mmgen", "mmsynth", "mmbench", "mmsim", "mmlint"} {
+	for _, tool := range []string{"mmgen", "mmsynth", "mmbench", "mmsim", "mmlint", "mmtrace"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		out, err := cmd.CombinedOutput()
 		if err != nil {
@@ -368,6 +368,81 @@ func TestCLILintExitCodes(t *testing.T) {
 		if !strings.Contains(out, name) {
 			t.Errorf("mmlint -list missing %q:\n%s", name, out)
 		}
+	}
+}
+
+// TestCLIObservability drives the telemetry flow end to end: a traced
+// mmsynth run must emit a schema-valid JSONL event stream and metrics
+// snapshot (proven by mmtrace), report the instrumentation-only detail
+// lines, and print the same synthesis result as an untraced run.
+func TestCLIObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end test skipped in -short mode")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	spec := filepath.Join(work, "inst.spec")
+	traceFile := filepath.Join(work, "run.jsonl")
+	metricsFile := filepath.Join(work, "metrics.json")
+	run(t, bin, "mmgen", "-seed", "5", "-o", spec)
+
+	gaArgs := []string{"-spec", spec, "-dvs", "-pop", "16", "-gens", "30", "-stagnation", "12"}
+	plain := run(t, bin, "mmsynth", gaArgs...)
+	traced := run(t, bin, "mmsynth",
+		append([]string{"-trace", traceFile, "-metrics", metricsFile}, gaArgs...)...)
+
+	// Identical synthesis, visible instrumentation detail.
+	if p1, p2 := extractLine(plain, "average power"), extractLine(traced, "average power"); p1 != p2 {
+		t.Errorf("tracing changed the synthesis: %q vs %q", p1, p2)
+	}
+	if extractLine(traced, "mutations") == "" || extractLine(traced, "phase times") == "" {
+		t.Errorf("traced run missing instrumentation report lines:\n%s", traced)
+	}
+	if extractLine(plain, "mutations") != "" || extractLine(plain, "phase times") != "" {
+		t.Errorf("untraced run printed instrumentation-only lines:\n%s", plain)
+	}
+
+	// mmtrace certifies both artefacts schema-valid (exit 0).
+	out, code := runExit(t, bin, "mmtrace", nil, "-summary", "-metrics", metricsFile, traceFile)
+	if code != 0 {
+		t.Fatalf("mmtrace: exit %d\n%s", code, out)
+	}
+	for _, want := range []string{"schema-valid", "metrics snapshot valid", "mutation shutdown"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mmtrace output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Invalid input exits 1, usage mistakes exit 2.
+	bogus := filepath.Join(work, "bogus.jsonl")
+	if err := os.WriteFile(bogus, []byte(`{"ev":"generation","t":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := runExit(t, bin, "mmtrace", nil, bogus); code != 1 {
+		t.Errorf("invalid trace: exit %d, want 1\n%s", code, out)
+	}
+	if out, code := runExit(t, bin, "mmtrace", nil); code != 2 {
+		t.Errorf("no arguments: exit %d, want 2\n%s", code, out)
+	}
+
+	// mmbench: -progress heartbeat on stderr, bench_row events in the trace.
+	benchTrace := filepath.Join(work, "bench.jsonl")
+	benchOut := run(t, bin, "mmbench", "-table", "3", "-reps", "1",
+		"-pop", "12", "-gens", "10", "-progress", "-trace", benchTrace)
+	if !strings.Contains(benchOut, "progress: smartphone") {
+		t.Errorf("no -progress heartbeat:\n%s", benchOut)
+	}
+	out, code = runExit(t, bin, "mmtrace", nil, "-summary", benchTrace)
+	if code != 0 || !strings.Contains(out, "bench_row") {
+		t.Errorf("bench trace invalid or missing bench_row events (exit %d):\n%s", code, out)
+	}
+
+	// mmsim keeps -trace for usage replay; the run-trace flag is -run-trace.
+	simTrace := filepath.Join(work, "sim.jsonl")
+	run(t, bin, "mmsim", "-spec", spec, "-dvs", "-pop", "12", "-gens", "15",
+		"-horizon", "30", "-run-trace", simTrace)
+	if out, code := runExit(t, bin, "mmtrace", nil, simTrace); code != 0 {
+		t.Errorf("mmsim run-trace invalid: exit %d\n%s", code, out)
 	}
 }
 

@@ -29,10 +29,15 @@ import (
 	"momosyn/internal/energy"
 	"momosyn/internal/ga"
 	"momosyn/internal/model"
+	"momosyn/internal/obs"
 	"momosyn/internal/runctl"
 	"momosyn/internal/sched"
 	"momosyn/internal/synth"
 )
+
+// closeObs flushes instrumentation before any exit path; mmbench exits via
+// os.Exit, which skips defers, so fatal and main call it explicitly.
+var closeObs = func() error { return nil }
 
 func main() {
 	var (
@@ -46,8 +51,27 @@ func main() {
 		stag     = flag.Int("stagnation", 80, "GA stagnation limit")
 		parallel = flag.Int("parallel", 4, "concurrent synthesis runs per cell")
 		certify  = flag.Bool("certify", false, "independently certify every repetition's result; a refused certification exits 4")
+
+		progress    = flag.Bool("progress", false, "print a stderr heartbeat after each benchmark row")
+		tracePath   = flag.String("trace", "", "write a JSONL run-trace event stream (bench_row events) to this file")
+		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the run's duration")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole experiment to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	run, closer, err := obs.Setup(obs.SetupConfig{
+		TracePath:      *tracePath,
+		MetricsPath:    *metricsPath,
+		PprofAddr:      *pprofAddr,
+		CPUProfilePath: *cpuProfile,
+		MemProfilePath: *memProfile,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	closeObs = closer
 
 	ctx, stop := runctl.NotifyContext(context.Background())
 	defer stop()
@@ -59,6 +83,10 @@ func main() {
 		GA:       ga.Config{PopSize: *pop, MaxGenerations: *gens, Stagnation: *stag},
 		Context:  ctx,
 		Certify:  *certify,
+		Obs:      run,
+	}
+	if *progress {
+		cfg.Progress = os.Stderr
 	}
 	if *figures {
 		if err := runFigures(); err != nil {
@@ -95,6 +123,10 @@ func main() {
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "mmbench: interrupted (%v) — reported numbers are partial best-so-far results\n",
 			context.Cause(ctx))
+	}
+	if err := closeObs(); err != nil {
+		fmt.Fprintln(os.Stderr, "mmbench:", err)
+		os.Exit(1)
 	}
 }
 
@@ -190,6 +222,7 @@ func runAblation(cfg bench.HarnessConfig) error {
 // fatal maps failures to the exit-code contract: a result the certifier
 // refused exits 4, every other runtime failure exits 1.
 func fatal(err error) {
+	_ = closeObs() // flush whatever trace/metrics exist before dying
 	fmt.Fprintln(os.Stderr, "mmbench:", err)
 	if errors.Is(err, bench.ErrCertification) {
 		os.Exit(4)

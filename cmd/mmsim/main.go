@@ -19,11 +19,16 @@ import (
 	"os"
 
 	"momosyn/internal/ga"
+	"momosyn/internal/obs"
 	"momosyn/internal/sim"
 	"momosyn/internal/specio"
 	"momosyn/internal/synth"
 	"momosyn/internal/verify"
 )
+
+// closeObs flushes instrumentation before any exit path; mmsim exits via
+// os.Exit, which skips defers, so fatal and main call it explicitly.
+var closeObs = func() error { return nil }
 
 func main() {
 	var (
@@ -39,8 +44,24 @@ func main() {
 		useTrace  = flag.String("trace", "", "replay a recorded trace file instead of generating one")
 		saveTrace = flag.String("save-trace", "", "record the generated trace to this file")
 		certify   = flag.Bool("certify", false, "independently certify the implementation before simulating; refused certification exits 4")
+
+		// -trace already means usage-trace replay here, so the run-trace
+		// event stream gets its own flag name.
+		runTrace    = flag.String("run-trace", "", "write a JSONL run-trace event stream of the synthesis to this file")
+		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the run's duration")
 	)
 	flag.Parse()
+
+	run, closer, err := obs.Setup(obs.SetupConfig{
+		TracePath:   *runTrace,
+		MetricsPath: *metricsPath,
+		PprofAddr:   *pprofAddr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	closeObs = closer
 
 	var in io.Reader = os.Stdin
 	if *specPath != "" {
@@ -70,7 +91,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		impl, err = synth.NewEvaluator(sys, *useDVS).Evaluate(mapping)
+		e := synth.NewEvaluator(sys, *useDVS)
+		e.Obs = run
+		impl, err = e.Evaluate(mapping)
 		if err != nil {
 			fatal(err)
 		}
@@ -80,6 +103,7 @@ func main() {
 			NeglectProbabilities: *neglect,
 			GA:                   ga.Config{PopSize: *pop, MaxGenerations: *gens},
 			Seed:                 *seed,
+			Obs:                  run,
 		})
 		if err != nil {
 			fatal(err)
@@ -90,6 +114,7 @@ func main() {
 		rep := synth.CertifyEvaluation(sys, impl, nil, verify.Options{})
 		fmt.Printf("certification   : %s\n", rep)
 		if !rep.Certified() {
+			_ = closeObs()
 			os.Exit(4)
 		}
 	}
@@ -153,9 +178,13 @@ func main() {
 	fmt.Printf("Eq.(1) @ specified probabilities: %9.6f mW (synthesis objective)\n",
 		impl.AvgPower*1e3)
 	fmt.Printf("energy split: dynamic %.3f J, static %.3f J\n", out.DynamicEnergy, out.StaticEnergy)
+	if err := closeObs(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {
+	_ = closeObs() // flush whatever trace/metrics exist before dying
 	fmt.Fprintln(os.Stderr, "mmsim:", err)
 	os.Exit(1)
 }

@@ -32,12 +32,19 @@ import (
 	"momosyn/internal/ga"
 	"momosyn/internal/gantt"
 	"momosyn/internal/model"
+	"momosyn/internal/obs"
 	"momosyn/internal/runctl"
 	"momosyn/internal/specio"
 	"momosyn/internal/synth"
 	"momosyn/internal/verify"
 	"momosyn/internal/verify/faultinj"
 )
+
+// closeObs flushes instrumentation (trace, metrics snapshot, profiles)
+// before any exit path. mmsynth exits via os.Exit, which skips defers, so
+// every exit calls this explicitly; main replaces it when -trace/-metrics/
+// -pprof are in use.
+var closeObs = func() error { return nil }
 
 func main() {
 	var (
@@ -61,6 +68,12 @@ func main() {
 		stall       = flag.Int("stall", 0, "stall watchdog: re-randomise the worst half after this many generations without improvement (0 = off)")
 		faultBudget = flag.Int("fault-budget", 64, "distinct panicking genomes tolerated before the run aborts")
 		certify     = flag.Bool("certify", false, "independently certify the final implementation; refused certification exits 4")
+
+		tracePath   = flag.String("trace", "", "write a JSONL run-trace event stream to this file (see docs/OBSERVABILITY.md)")
+		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the run's duration")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -76,6 +89,17 @@ func main() {
 	if *ckptEvery <= 0 {
 		fatalUsage(fmt.Errorf("-checkpoint-every must be positive"))
 	}
+	run, closer, err := obs.Setup(obs.SetupConfig{
+		TracePath:      *tracePath,
+		MetricsPath:    *metricsPath,
+		PprofAddr:      *pprofAddr,
+		CPUProfilePath: *cpuProfile,
+		MemProfilePath: *memProfile,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	closeObs = closer
 
 	var in io.Reader = os.Stdin
 	if *specPath != "" {
@@ -105,7 +129,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		ev, err := synth.NewEvaluator(sys, *useDVS).Evaluate(mapping)
+		e := synth.NewEvaluator(sys, *useDVS)
+		e.Obs = run
+		ev, err := e.Evaluate(mapping)
 		if err != nil {
 			fatal(err)
 		}
@@ -130,6 +156,7 @@ func main() {
 			Resume:               *resume,
 			FaultBudget:          *faultBudget,
 			StallWindow:          *stall,
+			Obs:                  run,
 		})
 		if err != nil {
 			fatal(err)
@@ -197,6 +224,12 @@ func main() {
 			exit = 4
 		}
 	}
+	if err := closeObs(); err != nil {
+		fmt.Fprintln(os.Stderr, "mmsynth:", err)
+		if exit == 0 {
+			exit = 1
+		}
+	}
 	if exit != 0 {
 		os.Exit(exit)
 	}
@@ -231,6 +264,22 @@ func report(w io.Writer, sys *model.System, res *synth.Result, verbose bool) {
 		fmt.Fprintf(w, "fitness cache: %d hits, %d misses (%.1f%% hit rate), %d evictions, %d/%d entries\n",
 			res.Cache.Hits, res.Cache.Misses, 100*res.Cache.HitRate(),
 			res.Cache.Evictions, res.Cache.Entries, res.Cache.Capacity)
+	}
+	// Instrumentation-only detail: printed only when -trace/-metrics/-pprof
+	// attached a run, so the uninstrumented report stays byte-identical.
+	if res.Timings.Evaluations > 0 {
+		if res.GA != nil && len(res.GA.Mutators) > 0 {
+			fmt.Fprintf(w, "mutations   :")
+			for i, m := range res.GA.Mutators {
+				fmt.Fprintf(w, " %s %d/%d/%d", synth.MutationName(i), m.Improved, m.Accepted, m.Attempts)
+			}
+			fmt.Fprintf(w, " (improved/accepted/attempted)\n")
+		}
+		t := res.Timings
+		fmt.Fprintf(w, "phase times : mobility %v, core-alloc %v, list-sched %v (comm-map %v), dvs %v, refine %v, certify %v over %d evaluations\n",
+			t.Mobility.Round(1e6), t.CoreAlloc.Round(1e6), t.ListSched.Round(1e6),
+			t.CommMap.Round(1e6), t.DVS.Round(1e6), t.Refine.Round(1e6),
+			t.Certify.Round(1e6), t.Evaluations)
 	}
 	if len(res.Faults) > 0 {
 		fmt.Fprintf(w, "eval faults : %d genome(s) panicked during evaluation and were marked infeasible\n", len(res.Faults))
@@ -367,6 +416,7 @@ func maxUsed(ev *synth.Evaluation, pe model.PEID) int {
 // fatal reports a runtime failure (exit 1): I/O errors, malformed specs,
 // synthesis errors.
 func fatal(err error) {
+	_ = closeObs() // flush whatever trace/metrics exist before dying
 	fmt.Fprintln(os.Stderr, "mmsynth:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,124 @@
+// Command mmtrace validates and summarises the observability artefacts of
+// a synthesis run: the JSONL run-trace event stream written by
+// `mmsynth -trace` (also mmbench -trace, mmsim -run-trace) and the JSON
+// metrics snapshot written by `-metrics`. Every trace line is checked
+// against the event schema of docs/OBSERVABILITY.md.
+//
+//	mmtrace run.jsonl
+//	mmtrace -summary run.jsonl
+//	mmtrace -metrics metrics.json run.jsonl
+//	mmtrace -metrics metrics.json            # snapshot only, no trace
+//
+// Exit codes: 0 all inputs valid, 1 validation failure, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"momosyn/internal/obs"
+)
+
+func main() {
+	var (
+		metricsPath = flag.String("metrics", "", "also validate this JSON metrics snapshot")
+		summary     = flag.Bool("summary", false, "print a per-kind event summary and the run's convergence endpoints")
+	)
+	flag.Parse()
+
+	if flag.NArg() > 1 {
+		fatalUsage(fmt.Errorf("at most one trace file, got %v", flag.Args()))
+	}
+	if flag.NArg() == 0 && *metricsPath == "" {
+		fatalUsage(fmt.Errorf("nothing to validate: pass a trace file and/or -metrics"))
+	}
+
+	ok := true
+	if flag.NArg() == 1 {
+		ok = validateTrace(flag.Arg(0), *summary) && ok
+	}
+	if *metricsPath != "" {
+		ok = validateMetrics(*metricsPath) && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// validateTrace reads and schema-checks every event of one JSONL file,
+// reporting the first offending line on failure.
+func validateTrace(path string, summary bool) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalUsage(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmtrace: %s: %v\n", path, err)
+		return false
+	}
+	if len(events) == 0 {
+		fmt.Fprintf(os.Stderr, "mmtrace: %s: no events\n", path)
+		return false
+	}
+	fmt.Printf("%s: %d events, all schema-valid\n", path, len(events))
+	if summary {
+		printSummary(events)
+	}
+	return true
+}
+
+// printSummary renders per-kind counts and the convergence endpoints that
+// the paper's experiments report (first/last generation fitness and p̄).
+func printSummary(events []*obs.Event) {
+	counts := map[string]int{}
+	var first, last *obs.GenerationEvent
+	for _, ev := range events {
+		counts[ev.Ev]++
+		if ev.Ev == obs.EvGeneration {
+			if first == nil {
+				first = ev.Gen
+			}
+			last = ev.Gen
+		}
+	}
+	for _, kind := range []string{obs.EvRunStart, obs.EvGeneration, obs.EvEval,
+		obs.EvSpan, obs.EvBenchRow, obs.EvRunEnd} {
+		if counts[kind] > 0 {
+			fmt.Printf("  %-12s %6d\n", kind, counts[kind])
+		}
+	}
+	if first != nil {
+		fmt.Printf("  generations %d..%d: best fitness %g -> %g, avg power %g -> %g W\n",
+			first.Gen, last.Gen,
+			float64(first.BestFitness), float64(last.BestFitness),
+			float64(first.AvgPower), float64(last.AvgPower))
+		for _, m := range last.Mutations {
+			fmt.Printf("  mutation %-10s %d/%d/%d (improved/accepted/attempted)\n",
+				m.Name, m.Improved, m.Accepted, m.Attempts)
+		}
+	}
+}
+
+// validateMetrics checks the JSON snapshot's structural invariants
+// (histogram bucket arithmetic in particular).
+func validateMetrics(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalUsage(err)
+	}
+	if err := obs.ValidateMetricsJSON(data); err != nil {
+		fmt.Fprintf(os.Stderr, "mmtrace: %s: %v\n", path, err)
+		return false
+	}
+	fmt.Printf("%s: metrics snapshot valid\n", path)
+	return true
+}
+
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "mmtrace:", err)
+	flag.Usage()
+	os.Exit(2)
+}

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"time"
 
 	"momosyn/internal/energy"
 	"momosyn/internal/ga"
 	"momosyn/internal/model"
+	"momosyn/internal/obs"
 	"momosyn/internal/synth"
 )
 
@@ -49,6 +51,16 @@ type HarnessConfig struct {
 	// error wrapping ErrCertification, so no uncertified number can reach
 	// a results table.
 	Certify bool
+	// Obs, when active, instruments every repetition (phase-timing
+	// histograms, per-evaluation spans) and emits one bench_row trace event
+	// per finished table row. Repetitions of a cell share the run; all its
+	// surfaces are safe for concurrent use.
+	Obs *obs.Run
+	// Progress, when non-nil, receives a one-line heartbeat after every
+	// finished table row (row name, elapsed time, best p̄ so far) —
+	// mmbench -progress points it at stderr so long studies are visibly
+	// alive without polluting the result table on stdout.
+	Progress io.Writer
 }
 
 func (c HarnessConfig) withDefaults() HarnessConfig {
@@ -85,6 +97,9 @@ type CellStats struct {
 	// PartialRuns counts repetitions that were interrupted (cancelled
 	// context) and contributed a best-so-far rather than converged result.
 	PartialRuns int
+	// Timings is the phase breakdown summed over the cell's repetitions;
+	// all-zero unless HarnessConfig.Obs was active.
+	Timings obs.Timings
 }
 
 // Row is one line of Table 1/2/3: probability-neglecting versus proposed.
@@ -95,6 +110,9 @@ type Row struct {
 	With    CellStats // proposed: probabilities drive the synthesis
 	// ReductionPct is the paper's "Reduc. (%)" column.
 	ReductionPct float64
+	// Timings sums the phase breakdown of both cells; all-zero unless the
+	// harness was instrumented.
+	Timings obs.Timings
 }
 
 // RunCell synthesises the system Reps times with distinct seeds and
@@ -107,6 +125,7 @@ func RunCell(sys *model.System, useDVS, neglect bool, cfg HarnessConfig) (CellSt
 		elapsed  time.Duration
 		feasible bool
 		partial  bool
+		timings  obs.Timings
 		err      error
 	}
 	outs := make([]outcome, cfg.Reps)
@@ -134,6 +153,7 @@ func RunCell(sys *model.System, useDVS, neglect bool, cfg HarnessConfig) (CellSt
 				Seed:                 seed,
 				Context:              cfg.Context,
 				Certify:              cfg.Certify,
+				Obs:                  cfg.Obs,
 			})
 			if err != nil {
 				outs[r] = outcome{err: err}
@@ -152,6 +172,7 @@ func RunCell(sys *model.System, useDVS, neglect bool, cfg HarnessConfig) (CellSt
 				elapsed:  res.Elapsed,
 				feasible: res.Best.Feasible(),
 				partial:  res.Partial,
+				timings:  res.Timings,
 			}
 		}(r)
 	}
@@ -176,6 +197,7 @@ func RunCell(sys *model.System, useDVS, neglect bool, cfg HarnessConfig) (CellSt
 		if o.partial {
 			cs.PartialRuns++
 		}
+		cs.Timings.Add(o.timings)
 		cs.Runs++
 	}
 	cs.Power /= float64(cs.Runs)
@@ -193,13 +215,48 @@ func Compare(name string, sys *model.System, useDVS bool, cfg HarnessConfig) (Ro
 	if err != nil {
 		return Row{}, err
 	}
-	return Row{
+	row := Row{
 		Name:         name,
 		Modes:        len(sys.App.Modes),
 		Without:      without,
 		With:         with,
 		ReductionPct: energy.RelativeReduction(without.Power, with.Power),
-	}, nil
+	}
+	row.Timings.Add(without.Timings)
+	row.Timings.Add(with.Timings)
+	return row, nil
+}
+
+// reportRow emits the per-row telemetry of a finished table row: the
+// -progress heartbeat and, when tracing, one bench_row event. bestPower is
+// the lowest proposed-approach p̄ over the rows finished so far; started is
+// the table's start time.
+func (c HarnessConfig) reportRow(table string, row Row, started time.Time, bestPower float64) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, "progress: %s done, elapsed %s, best avg power so far %.4f mW\n",
+			row.Name, time.Since(started).Round(time.Second), bestPower*1e3)
+	}
+	if !c.Obs.Tracing() {
+		return
+	}
+	t := row.Timings
+	c.Obs.EmitBenchRow(obs.BenchRowEvent{
+		Table:        table,
+		Name:         row.Name,
+		Modes:        row.Modes,
+		PowerWithout: obs.Float(row.Without.Power),
+		PowerWith:    obs.Float(row.With.Power),
+		ReductionPct: obs.Float(row.ReductionPct),
+		CPUWithoutNs: row.Without.CPUTime.Nanoseconds(),
+		CPUWithNs:    row.With.CPUTime.Nanoseconds(),
+		MobilityNs:   t.Mobility.Nanoseconds(),
+		CoreAllocNs:  t.CoreAlloc.Nanoseconds(),
+		ListSchedNs:  t.ListSched.Nanoseconds(),
+		CommMapNs:    t.CommMap.Nanoseconds(),
+		DVSNs:        t.DVS.Nanoseconds(),
+		RefineNs:     t.Refine.Nanoseconds(),
+		CertifyNs:    t.Certify.Nanoseconds(),
+	})
 }
 
 // Table1 regenerates paper Table 1 (mul1–mul12, no DVS): the effect of
@@ -216,6 +273,12 @@ func Table2(cfg HarnessConfig, w io.Writer) ([]Row, error) {
 }
 
 func mulTable(useDVS bool, cfg HarnessConfig, w io.Writer) ([]Row, error) {
+	table := "1"
+	if useDVS {
+		table = "2"
+	}
+	started := time.Now()
+	best := math.Inf(1)
 	rows := make([]Row, 0, NumMuls)
 	if w != nil {
 		fmt.Fprint(w, tableHeader(useDVS))
@@ -230,6 +293,10 @@ func mulTable(useDVS bool, cfg HarnessConfig, w io.Writer) ([]Row, error) {
 			return nil, fmt.Errorf("bench: mul%d: %w", i, err)
 		}
 		rows = append(rows, row)
+		if row.With.Power < best {
+			best = row.With.Power
+		}
+		cfg.reportRow(table, row, started, best)
 		if w != nil {
 			fmt.Fprint(w, formatRow(row))
 		}
@@ -247,6 +314,8 @@ func Table3(cfg HarnessConfig, w io.Writer) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	started := time.Now()
+	best := math.Inf(1)
 	var rows []Row
 	for _, useDVS := range []bool{false, true} {
 		name := "smartphone w/o DVS"
@@ -261,6 +330,10 @@ func Table3(cfg HarnessConfig, w io.Writer) ([]Row, error) {
 			return nil, err
 		}
 		rows = append(rows, row)
+		if row.With.Power < best {
+			best = row.With.Power
+		}
+		cfg.reportRow("3", row, started, best)
 		if w != nil {
 			fmt.Fprint(w, formatRow(row))
 		}

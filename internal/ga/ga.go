@@ -104,6 +104,40 @@ func (c Config) withDefaults(genomeLen int) Config {
 	return c
 }
 
+// MutatorStats is the cumulative effectiveness record of one improvement
+// mutator, indexed like the mutators passed to Run: Attempts counts
+// invocations, Accepted counts invocations that changed the genome, and
+// Improved counts changes that lowered the individual's fitness.
+type MutatorStats struct {
+	Attempts int
+	Accepted int
+	Improved int
+}
+
+// GenerationStats is the engine state reported to RunControl.OnGeneration
+// after each completed generation. Everything is a copy; observers may
+// retain it.
+type GenerationStats struct {
+	// Generation is the 1-based number of the generation just completed.
+	Generation  int
+	Stagnant    int
+	Evaluations int
+	Restarts    int
+	// BestFitness is the best-so-far fitness; BestGenome is a copy of that
+	// individual.
+	BestFitness float64
+	BestGenome  []int
+	// MeanFitness averages the finite fitnesses of the population (+Inf when
+	// every individual is infeasible); Infeasible counts the non-finite ones.
+	MeanFitness float64
+	Infeasible  int
+	// Diversity is the fraction of distinct genomes in the population.
+	Diversity float64
+	// Mutators are the cumulative per-operator improvement-mutation stats,
+	// in the order the mutators were passed to the engine.
+	Mutators []MutatorStats
+}
+
 // Result reports the outcome of a run.
 type Result struct {
 	Best        []int
@@ -112,6 +146,9 @@ type Result struct {
 	Evaluations int
 	// History records the best fitness after every generation.
 	History []float64
+	// Mutators holds the final per-operator improvement-mutation stats, in
+	// the order the mutators were passed in.
+	Mutators []MutatorStats
 	// Partial is set when the run stopped before its own termination
 	// criteria: the context was cancelled, its deadline passed, or a
 	// checkpoint write failed. Best is then the best-so-far individual.
@@ -140,6 +177,11 @@ type Snapshot struct {
 	BestGenome  []int
 	BestFitness float64
 	History     []float64
+	// MutStats carries the cumulative per-operator improvement-mutation
+	// stats across a resume, so convergence traces continue seamlessly.
+	// May be shorter than the mutator list of the resumed run (older
+	// checkpoints): missing entries restart at zero.
+	MutStats []MutatorStats
 }
 
 // RunControl adds run-control behaviour to a run without changing Config
@@ -172,6 +214,11 @@ type RunControl struct {
 	// OnRestart is notified after each diversity injection with the
 	// 1-based generation number and the total restart count.
 	OnRestart func(generation, restarts int)
+	// OnGeneration, when non-nil, observes the engine after every completed
+	// generation. It must only read: the stats are copies, and the observer
+	// runs outside the engine's random stream, so attaching one never
+	// changes the search trajectory.
+	OnGeneration func(GenerationStats)
 }
 
 // RunCtx is Run with cancellation: on ctx cancellation or deadline the
@@ -187,12 +234,13 @@ type individual struct {
 }
 
 type engine struct {
-	p     Problem
-	cfg   Config
-	rng   *rand.Rand
-	muts  []Mutator
-	pop   []individual
-	evals int
+	p        Problem
+	cfg      Config
+	rng      *rand.Rand
+	muts     []Mutator
+	pop      []individual
+	evals    int
+	mutStats []MutatorStats
 }
 
 // Run executes the GA and returns the best genome found. Improvement
@@ -214,6 +262,7 @@ func RunControlled(p Problem, cfg Config, rc RunControl, rng *rand.Rand, mutator
 		ctx = context.Background()
 	}
 	e := &engine{p: p, cfg: cfg, rng: rng, muts: mutators}
+	e.mutStats = make([]MutatorStats, len(mutators))
 
 	res := &Result{}
 	var best individual
@@ -257,6 +306,9 @@ func RunControlled(p Problem, cfg Config, rc RunControl, rng *rand.Rand, mutator
 				rc.OnRestart(gen+1, res.Restarts)
 			}
 		}
+		if rc.OnGeneration != nil {
+			rc.OnGeneration(e.generationStats(gen+1, stagnant, best, res))
+		}
 		if cfg.MinDiversity > 0 && stagnant >= cfg.Stagnation/2 && e.diversity() < cfg.MinDiversity {
 			gen++
 			break
@@ -275,6 +327,9 @@ func RunControlled(p Problem, cfg Config, rc RunControl, rng *rand.Rand, mutator
 	res.BestFitness = best.fitness
 	res.Generations = gen
 	res.Evaluations = e.evals
+	if len(e.mutStats) > 0 {
+		res.Mutators = append([]MutatorStats(nil), e.mutStats...)
+	}
 	// A closing checkpoint captures the exact stop state, whatever ended
 	// the run, so a resume continues from the last completed generation.
 	if rc.OnCheckpoint != nil && rc.CheckpointEvery > 0 && gen != lastCheckpoint {
@@ -339,6 +394,9 @@ func (e *engine) snapshot(gen, stagnant int, best individual, res *Result) *Snap
 		s.Population[i] = append([]int(nil), ind.genome...)
 		s.Fitness[i] = ind.fitness
 	}
+	if len(e.mutStats) > 0 {
+		s.MutStats = append([]MutatorStats(nil), e.mutStats...)
+	}
 	return s
 }
 
@@ -352,7 +410,42 @@ func (e *engine) restore(s *Snapshot) {
 		}
 	}
 	e.evals = s.Evaluations
+	// Carry over as many per-mutator stats as both sides know about; an
+	// older checkpoint without them restarts the counters at zero.
+	for i := 0; i < len(e.mutStats) && i < len(s.MutStats); i++ {
+		e.mutStats[i] = s.MutStats[i]
+	}
 	e.sortPop()
+}
+
+// generationStats assembles the observer report for the generation just
+// completed. Everything it touches is already computed or copied, so the
+// observer cannot perturb the search.
+func (e *engine) generationStats(gen, stagnant int, best individual, res *Result) GenerationStats {
+	sum := 0.0
+	finite := 0
+	for _, ind := range e.pop {
+		if !math.IsInf(ind.fitness, 0) && !math.IsNaN(ind.fitness) {
+			sum += ind.fitness
+			finite++
+		}
+	}
+	mean := math.Inf(1)
+	if finite > 0 {
+		mean = sum / float64(finite)
+	}
+	return GenerationStats{
+		Generation:  gen,
+		Stagnant:    stagnant,
+		Evaluations: e.evals,
+		Restarts:    res.Restarts,
+		BestFitness: best.fitness,
+		BestGenome:  append([]int(nil), best.genome...),
+		MeanFitness: mean,
+		Infeasible:  len(e.pop) - finite,
+		Diversity:   e.diversity(),
+		Mutators:    append([]MutatorStats(nil), e.mutStats...),
+	}
 }
 
 // injectDiversity re-randomises the worst half of the population (the
@@ -451,13 +544,19 @@ func (e *engine) generation() {
 
 	// Improvement mutations: each mutator hits each non-elite individual
 	// with probability ImprovementRate.
-	for _, mut := range e.muts {
+	for mi, mut := range e.muts {
 		for i := 1; i < len(e.pop); i++ {
 			if e.rng.Float64() >= e.cfg.ImprovementRate {
 				continue
 			}
+			e.mutStats[mi].Attempts++
 			if mut(e.pop[i].genome, e.rng) {
+				e.mutStats[mi].Accepted++
+				before := e.pop[i].fitness
 				e.pop[i].fitness = e.eval(e.pop[i].genome)
+				if e.pop[i].fitness < before {
+					e.mutStats[mi].Improved++
+				}
 			}
 		}
 	}

@@ -99,6 +99,7 @@ func TestPackageGates(t *testing.T) {
 		{Detrand, "momosyn/internal/gantt", false},
 		{Ctxflow, "momosyn/internal/ga", true},
 		{Ctxflow, "momosyn/internal/synth", true},
+		{Ctxflow, "momosyn/internal/obs", true},
 		{Ctxflow, "momosyn/internal/gantt", false}, // "ga" must not match a prefix
 		{Ctxflow, "momosyn/internal/bench", false},
 		{Floateq, "momosyn/internal/energy", true},
@@ -107,6 +108,7 @@ func TestPackageGates(t *testing.T) {
 		{Floateq, "momosyn/internal/specio", false},
 		{Floateq, "momosyn/internal/lint/testdata/src/floateq", false},
 		{Guardgo, "momosyn/internal/bench", true},
+		{Guardgo, "momosyn/internal/obs", true},
 		{Guardgo, "momosyn/internal/runctl", false},
 		{Guardgo, "momosyn/cmd/mmsynth", false},
 	}

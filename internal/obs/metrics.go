@@ -1,0 +1,396 @@
+// Package obs is the observability substrate of the synthesis tool chain:
+// a concurrency-safe metrics registry (atomic counters, gauges and
+// fixed-bucket histograms with JSON snapshot export), a structured JSONL
+// run-trace event stream (per-generation GA convergence events and
+// per-evaluation phase-timing spans), and runtime profiling hooks
+// (net/http/pprof, CPU/heap profiles, periodic memstats gauges).
+//
+// The package is standard-library-only and imports nothing from this
+// module, so every layer — model, run control, algorithms, bench harness,
+// CLIs — can depend on it. Instrumentation is opt-in and nil-safe: all
+// methods of *Run, *Registry and the metric types accept a nil receiver
+// and return immediately, so a disabled run pays no allocations and no
+// synchronisation (see the zero-allocation regression test). See
+// docs/OBSERVABILITY.md.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add atomically adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		want := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed, sorted bucket boundaries.
+// An observation v lands in the first bucket with v <= bound; values
+// beyond the last bound land in the implicit overflow bucket, so the
+// exported counts slice is one longer than the bounds slice.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefTimeBuckets are the default bucket boundaries for wall-clock phase
+// timings, in seconds: roughly logarithmic from 1µs to 10s.
+var DefTimeBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		want := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// MetricState is the serialisable value of one metric, used both for the
+// JSON snapshot export and for carrying cumulative metric state inside
+// run-control checkpoints (it is gob-friendly: exported scalar fields and
+// slices only).
+type MetricState struct {
+	Name string
+	Kind string // "counter", "gauge" or "histogram"
+	// Value is the counter count (as float) or the gauge value.
+	Value float64
+	// Histogram state: observation count, value sum, bucket boundaries and
+	// per-bucket counts (len(Counts) == len(Bounds)+1, last is overflow).
+	Count  uint64
+	Sum    float64
+	Bounds []float64
+	Counts []uint64
+}
+
+// Registry is a concurrency-safe collection of named metrics. Metrics are
+// created on first use and the same instance is returned for the same
+// name, so hot paths can hold the handle and skip the map lookup.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// boundaries if needed. An existing histogram keeps its original bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Export captures the current value of every metric, sorted by kind then
+// name, so exports are deterministic for a deterministic run.
+func (r *Registry) Export() []MetricState {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MetricState, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, MetricState{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, MetricState{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		st := MetricState{
+			Name: name, Kind: "histogram",
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+		}
+		for i := range h.counts {
+			st.Counts[i] = h.counts[i].Load()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Restore merges previously exported state into the registry: counter
+// counts and histogram buckets are added (so a resumed run continues the
+// interrupted run's cumulative totals), gauges are set. Histogram states
+// whose bounds disagree with an existing histogram are skipped rather
+// than corrupting bucket semantics.
+func (r *Registry) Restore(states []MetricState) {
+	if r == nil {
+		return
+	}
+	for _, st := range states {
+		switch st.Kind {
+		case "counter":
+			if st.Value > 0 {
+				r.Counter(st.Name).Add(uint64(st.Value))
+			}
+		case "gauge":
+			r.Gauge(st.Name).Set(st.Value)
+		case "histogram":
+			if len(st.Counts) != len(st.Bounds)+1 {
+				continue
+			}
+			h := r.Histogram(st.Name, st.Bounds)
+			if len(h.bounds) != len(st.Bounds) {
+				continue
+			}
+			same := true
+			for i := range h.bounds {
+				if math.Abs(h.bounds[i]-st.Bounds[i]) > 1e-12 {
+					same = false
+					break
+				}
+			}
+			if !same {
+				continue
+			}
+			for i, n := range st.Counts {
+				h.counts[i].Add(n)
+			}
+			h.count.Add(st.Count)
+			for {
+				old := h.sum.Load()
+				want := math.Float64bits(math.Float64frombits(old) + st.Sum)
+				if h.sum.CompareAndSwap(old, want) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// histogramJSON is the JSON shape of one histogram in a snapshot.
+type histogramJSON struct {
+	Count uint64 `json:"count"`
+	Sum   Float  `json:"sum"`
+	// Bounds are the bucket boundaries; Counts has one extra trailing
+	// element, the overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+}
+
+// snapshotJSON is the JSON document written by WriteJSON.
+type snapshotJSON struct {
+	Counters   map[string]uint64        `json:"counters"`
+	Gauges     map[string]Float         `json:"gauges"`
+	Histograms map[string]histogramJSON `json:"histograms"`
+}
+
+// WriteJSON writes the registry contents as a single JSON document with
+// deterministic key order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := snapshotJSON{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]Float{},
+		Histograms: map[string]histogramJSON{},
+	}
+	for _, st := range r.Export() {
+		switch st.Kind {
+		case "counter":
+			doc.Counters[st.Name] = uint64(st.Value)
+		case "gauge":
+			doc.Gauges[st.Name] = Float(st.Value)
+		case "histogram":
+			doc.Histograms[st.Name] = histogramJSON{
+				Count: st.Count, Sum: Float(st.Sum),
+				Bounds: st.Bounds, Counts: st.Counts,
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ValidateMetricsJSON structurally checks a metrics snapshot document as
+// written by WriteJSON: it must parse, and every histogram must carry one
+// more bucket count than boundaries with a consistent total.
+func ValidateMetricsJSON(data []byte) error {
+	var doc snapshotJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: metrics snapshot: %w", err)
+	}
+	for name, h := range doc.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return fmt.Errorf("obs: histogram %q has %d counts for %d bounds (want bounds+1)",
+				name, len(h.Counts), len(h.Bounds))
+		}
+		var total uint64
+		for _, n := range h.Counts {
+			total += n
+		}
+		if total != h.Count {
+			return fmt.Errorf("obs: histogram %q bucket counts sum to %d, count field says %d",
+				name, total, h.Count)
+		}
+	}
+	return nil
+}

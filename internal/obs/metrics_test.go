@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentUpdates hammers one registry from many goroutines
+// (run under -race in CI) and then checks the exact totals: atomic
+// counters and histogram buckets must lose no update.
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mixed get-or-create and cached-handle use.
+			c := reg.Counter("evals")
+			h := reg.Histogram("phase", []float64{0.25, 0.5, 0.75})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				reg.Counter("evals2").Add(2)
+				reg.Gauge("gen").Set(float64(i))
+				h.Observe(float64(i%4) * 0.25)
+				if i%1000 == 0 {
+					_ = reg.Export() // snapshots race against writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("evals").Value(); got != workers*perWorker {
+		t.Errorf("counter evals = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Counter("evals2").Value(); got != 2*workers*perWorker {
+		t.Errorf("counter evals2 = %d, want %d", got, 2*workers*perWorker)
+	}
+	h := reg.Histogram("phase", nil)
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	// Observations cycle 0, 0.25, 0.5, 0.75 → exactly a quarter per bucket,
+	// none in overflow.
+	for _, st := range reg.Export() {
+		if st.Name != "phase" {
+			continue
+		}
+		// Bucket 0 holds both 0 and 0.25 (v <= bound semantics).
+		want := uint64(workers * perWorker / 4)
+		if st.Counts[0] != 2*want || st.Counts[1] != want || st.Counts[2] != want || st.Counts[3] != 0 {
+			t.Errorf("bucket counts = %v, want [%d %d %d 0]", st.Counts, 2*want, want, want)
+		}
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 100, 500} {
+		h.Observe(v)
+	}
+	got := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		got[i] = h.counts[i].Load()
+	}
+	want := []uint64{2, 2, 2, 1} // (≤1)=0.5,1  (≤10)=5,10  (≤100)=50,100  over=500
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", got, want)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if math.Abs(h.Sum()-666.5) > 1e-9 {
+		t.Errorf("sum = %g, want 666.5", h.Sum())
+	}
+}
+
+// TestExportRestore proves the checkpoint path: exported state restored
+// into a fresh registry continues the cumulative totals.
+func TestExportRestore(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(41)
+	reg.Gauge("g").Set(3.5)
+	h := reg.Histogram("h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	fresh := NewRegistry()
+	fresh.Restore(reg.Export())
+	fresh.Counter("c").Inc()
+	fresh.Histogram("h", []float64{1, 2}).Observe(0.5)
+
+	if got := fresh.Counter("c").Value(); got != 42 {
+		t.Errorf("restored counter = %d, want 42", got)
+	}
+	if got := fresh.Gauge("g").Value(); got != 3.5 {
+		t.Errorf("restored gauge = %g, want 3.5", got)
+	}
+	h2 := fresh.Histogram("h", nil)
+	if h2.Count() != 4 {
+		t.Errorf("restored histogram count = %d, want 4", h2.Count())
+	}
+	if math.Abs(h2.Sum()-11.5) > 1e-9 {
+		t.Errorf("restored histogram sum = %g, want 11.5", h2.Sum())
+	}
+
+	// Mismatched bounds must be skipped, not merged into wrong buckets.
+	clash := NewRegistry()
+	clash.Histogram("h", []float64{5, 50}).Observe(3)
+	clash.Restore(reg.Export())
+	if got := clash.Histogram("h", nil).Count(); got != 1 {
+		t.Errorf("bounds-mismatched restore merged anyway: count = %d, want 1", got)
+	}
+}
+
+func TestWriteJSONValidates(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("synth.evaluations").Add(7)
+	reg.Gauge("ga.best_fitness").Set(math.Inf(1)) // must survive JSON
+	reg.Histogram("synth.phase_seconds.dvs", DefTimeBuckets).ObserveDuration(3 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetricsJSON(buf.Bytes()); err != nil {
+		t.Fatalf("snapshot does not validate: %v\n%s", err, buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"+Inf"`)) {
+		t.Errorf("infinite gauge not encoded as string:\n%s", buf.String())
+	}
+
+	if err := ValidateMetricsJSON([]byte(`{"histograms":{"x":{"count":3,"sum":1,"bounds":[1],"counts":[1,1]}}}`)); err == nil {
+		t.Error("inconsistent histogram total passed validation")
+	}
+	if err := ValidateMetricsJSON([]byte(`{"histograms":{"x":{"count":1,"sum":1,"bounds":[1,2],"counts":[1]}}}`)); err == nil {
+		t.Error("histogram with too few buckets passed validation")
+	}
+}
+
+// TestNilSafety: every metric operation on nil receivers is a no-op, the
+// contract that makes disabled instrumentation free.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("x").Set(1)
+	reg.Histogram("x", nil).Observe(1)
+	reg.Restore([]MetricState{{Name: "x", Kind: "counter", Value: 1}})
+	if reg.Export() != nil {
+		t.Error("nil registry exported state")
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram has observations")
+	}
+}

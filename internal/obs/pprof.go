@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+	"time"
+)
+
+// ServePprof serves the net/http/pprof endpoints on addr (e.g. ":6060")
+// for the process lifetime of the returned stop function. The handlers are
+// mounted on a private mux, so importing this package does not touch
+// http.DefaultServeMux.
+func ServePprof(addr string) (stop func(), err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Recover barrier: a panicking debug handler must never take down
+		// the synthesis run it is observing.
+		defer func() { _ = recover() }()
+		_ = srv.Serve(ln) // returns http.ErrServerClosed on stop
+	}()
+	return func() { _ = srv.Close() }, nil
+}
+
+// StartCPUProfile starts a CPU profile into path and returns the function
+// that stops it and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := rpprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() error {
+		rpprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to path after a GC, so the
+// profile reflects live objects.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := rpprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}
+
+// memStatsGauges samples runtime.MemStats and the goroutine count into
+// the registry.
+func memStatsGauges(reg *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	reg.Gauge("runtime.heap_sys_bytes").Set(float64(ms.HeapSys))
+	reg.Gauge("runtime.total_alloc_bytes").Set(float64(ms.TotalAlloc))
+	reg.Gauge("runtime.num_gc").Set(float64(ms.NumGC))
+	reg.Gauge("runtime.gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	reg.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+}
+
+// StartMemStats samples memstats gauges into reg every interval until the
+// returned stop function is called; stop takes one final sample so short
+// runs still report values.
+func StartMemStats(reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	memStatsGauges(reg)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		// Recover barrier: metric sampling must never kill the run.
+		defer func() { _ = recover() }()
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				memStatsGauges(reg)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		memStatsGauges(reg)
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// SetupConfig selects the instrumentation a CLI run wants; zero-value
+// fields are disabled. It maps one-to-one to the -trace/-metrics/-pprof/
+// -cpuprofile/-memprofile flags of the command-line tools.
+type SetupConfig struct {
+	// TracePath receives the JSONL run-trace event stream.
+	TracePath string
+	// MetricsPath receives the final JSON metrics snapshot on Close.
+	MetricsPath string
+	// PprofAddr serves net/http/pprof for the run's duration (e.g. ":6060").
+	PprofAddr string
+	// CPUProfilePath records a CPU profile over the whole run.
+	CPUProfilePath string
+	// MemProfilePath receives a heap profile on Close.
+	MemProfilePath string
+	// MemStatsEvery is the memstats-gauge sampling interval (default 1s);
+	// sampling runs whenever any instrumentation is enabled.
+	MemStatsEvery time.Duration
+}
+
+func (c SetupConfig) enabled() bool {
+	return c.TracePath != "" || c.MetricsPath != "" || c.PprofAddr != "" ||
+		c.CPUProfilePath != "" || c.MemProfilePath != ""
+}
+
+// Setup builds the Run for a CLI invocation and returns it with a close
+// function that flushes the trace, writes the metrics snapshot and heap
+// profile, and stops the profile/pprof/memstats machinery. With an empty
+// config it returns (nil, no-op, nil): the disabled instrumentation path.
+//
+// Close must run before os.Exit — the CLIs call it explicitly on every
+// successful path rather than relying on defers.
+func Setup(cfg SetupConfig) (*Run, func() error, error) {
+	if !cfg.enabled() {
+		return nil, func() error { return nil }, nil
+	}
+	reg := NewRegistry()
+	var sink Sink
+	var closers []func() error
+	fail := func(err error) (*Run, func() error, error) {
+		for i := len(closers) - 1; i >= 0; i-- {
+			_ = closers[i]()
+		}
+		return nil, nil, err
+	}
+
+	if cfg.TracePath != "" {
+		f, err := os.Create(cfg.TracePath)
+		if err != nil {
+			return fail(fmt.Errorf("obs: trace: %w", err))
+		}
+		js := NewJSONLSink(f)
+		sink = js
+		closers = append(closers, js.Close)
+	}
+	run := NewRun(reg, sink)
+
+	if cfg.PprofAddr != "" {
+		stop, err := ServePprof(cfg.PprofAddr)
+		if err != nil {
+			return fail(err)
+		}
+		closers = append(closers, func() error { stop(); return nil })
+	}
+	if cfg.CPUProfilePath != "" {
+		stop, err := StartCPUProfile(cfg.CPUProfilePath)
+		if err != nil {
+			return fail(err)
+		}
+		closers = append(closers, stop)
+	}
+	stopMem := StartMemStats(reg, cfg.MemStatsEvery)
+
+	closeAll := func() error {
+		stopMem()
+		var first error
+		// Trace sink and profiles close in creation order; the metrics
+		// snapshot is written last so it includes the final memstats.
+		for _, c := range closers {
+			if err := c(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if cfg.MemProfilePath != "" {
+			if err := WriteHeapProfile(cfg.MemProfilePath); err != nil && first == nil {
+				first = err
+			}
+		}
+		if cfg.MetricsPath != "" {
+			f, err := os.Create(cfg.MetricsPath)
+			if err == nil {
+				err = reg.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil && first == nil {
+				first = fmt.Errorf("obs: metrics: %w", err)
+			}
+		}
+		return first
+	}
+	// The CLIs route both fatal-error and normal exits through the closer,
+	// and a fatal during shutdown would hit it twice — make it idempotent.
+	var once sync.Once
+	var closeErr error
+	return run, func() error {
+		once.Do(func() { closeErr = closeAll() })
+		return closeErr
+	}, nil
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSetupDisabled(t *testing.T) {
+	run, closeAll, err := Setup(SetupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run != nil {
+		t.Error("empty config produced an active run")
+	}
+	if err := closeAll(); err != nil {
+		t.Errorf("no-op closer errored: %v", err)
+	}
+}
+
+func TestSetupTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.jsonl")
+	metrics := filepath.Join(dir, "metrics.json")
+	run, closeAll, err := Setup(SetupConfig{TracePath: trace, MetricsPath: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Tracing() {
+		t.Fatal("trace-configured run is not tracing")
+	}
+	run.EmitRunStart(RunStartEvent{System: "s", Seed: 1})
+	run.ObservePhase(PhaseDVS, 2*time.Millisecond)
+	run.Registry().Counter("synth.evaluations").Inc()
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadEvents(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Ev != EvRunStart {
+		t.Errorf("trace events = %+v", evs)
+	}
+
+	mdata, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetricsJSON(mdata); err != nil {
+		t.Fatalf("metrics snapshot invalid: %v\n%s", err, mdata)
+	}
+	// The memstats sampler must have left runtime gauges behind.
+	found := false
+	for _, st := range run.Export() {
+		if st.Name == "runtime.heap_alloc_bytes" && st.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("memstats gauges missing from registry")
+	}
+}
+
+func TestSetupHeapProfile(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "heap.pprof")
+	_, closeAll, err := Setup(SetupConfig{MemProfilePath: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closeAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(prof); err != nil || fi.Size() == 0 {
+		t.Errorf("heap profile not written: %v", err)
+	}
+}

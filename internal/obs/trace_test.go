@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleEvents covers every event kind with representative payloads,
+// including a non-finite fitness.
+func sampleEvents() []*Event {
+	return []*Event{
+		{Ev: EvRunStart, T: 100, Run: &RunStartEvent{System: "phone", Seed: 42, DVS: true}},
+		{Ev: EvGeneration, T: 200, Gen: &GenerationEvent{
+			Gen: 1, BestFitness: 0.125, MeanFitness: Float(math.Inf(1)), Infeasible: 16,
+			AvgPower: 0.1, TimingPenalty: 1, AreaPenalty: 1.5, TransPenalty: 1,
+			Feasible: false, Evaluations: 64, Stagnant: 0, Diversity: 0.97,
+			CacheHits: 3, CacheMisses: 61, CacheHitRate: 3.0 / 64,
+			Mutations: []MutationStats{
+				{Name: "shutdown", Attempts: 4, Accepted: 2, Improved: 1},
+				{Name: "area", Attempts: 3},
+			},
+		}},
+		{Ev: EvEval, T: 300, Eval: &EvalEvent{
+			Seq: 7, MobilityNs: 1200, CoreAllocNs: 900, ListSchedNs: 5000,
+			CommMapNs: 1100, DVSNs: 2500, TotalNs: 9600,
+		}},
+		{Ev: EvSpan, T: 400, Span: &SpanEvent{Name: "certify", Ns: 55_000}},
+		{Ev: EvBenchRow, T: 500, Row: &BenchRowEvent{
+			Table: "1", Name: "mul3", Modes: 3,
+			PowerWithout: 0.02, PowerWith: 0.015, ReductionPct: 25,
+			CPUWithoutNs: 1e9, CPUWithNs: 2e9,
+			MobilityNs: 5e6, CoreAllocNs: 1e6, ListSchedNs: 2e7, CommMapNs: 4e6, DVSNs: 8e6,
+		}},
+		{Ev: EvRunEnd, T: 600, End: &RunEndEvent{
+			Generations: 120, Evaluations: 4096, BestFitness: 0.125, AvgPower: 0.1,
+			Feasible: true, ElapsedNs: 3e9,
+		}},
+	}
+}
+
+// TestJSONLRoundTrip: events written through the JSONL sink decode back
+// byte-for-structure identical and every line passes schema validation.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	in := sampleEvents()
+	for _, ev := range in {
+		if err := sink.Emit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-tripped %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !reflect.DeepEqual(in[i], out[i]) {
+			a, _ := json.Marshal(in[i])
+			b, _ := json.Marshal(out[i])
+			t.Errorf("event %d changed in round trip:\n in: %s\nout: %s", i, a, b)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -2.25, math.Inf(1), math.Inf(-1), math.NaN(), 1e-300} {
+		data, err := json.Marshal(Float(v))
+		if err != nil {
+			t.Fatalf("marshal %g: %v", v, err)
+		}
+		var got Float
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if math.IsNaN(v) {
+			if !math.IsNaN(float64(got)) {
+				t.Errorf("NaN round-tripped to %g", float64(got))
+			}
+		} else if float64(got) != v {
+			t.Errorf("%g round-tripped to %g via %s", v, float64(got), data)
+		}
+	}
+}
+
+func TestValidateEventRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   *Event
+		want string
+	}{
+		{"unknown kind", &Event{Ev: "bogus"}, "unknown event kind"},
+		{"missing payload", &Event{Ev: EvGeneration}, "missing its payload"},
+		{"stray payload", &Event{Ev: EvSpan, Span: &SpanEvent{Name: "x"}, Eval: &EvalEvent{}}, "stray"},
+		{"zero generation", &Event{Ev: EvGeneration, Gen: &GenerationEvent{Gen: 0}}, "1-based"},
+		{"bad hit rate", &Event{Ev: EvGeneration, Gen: &GenerationEvent{Gen: 1, CacheHitRate: 1.5}}, "hit rate"},
+		{"bad mutation counts", &Event{Ev: EvGeneration, Gen: &GenerationEvent{
+			Gen: 1, Mutations: []MutationStats{{Name: "x", Attempts: 1, Accepted: 2}},
+		}}, "inconsistent"},
+		{"negative span", &Event{Ev: EvSpan, Span: &SpanEvent{Name: "x", Ns: -1}}, "negative"},
+		{"comm exceeds sched", &Event{Ev: EvEval, Eval: &EvalEvent{CommMapNs: 10, ListSchedNs: 5}}, "exceeds"},
+		{"nameless span", &Event{Ev: EvSpan, Span: &SpanEvent{}}, "without a name"},
+	}
+	for _, c := range cases {
+		err := ValidateEvent(c.ev)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: ValidateEvent = %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDecodeEventStrict(t *testing.T) {
+	if _, err := DecodeEvent([]byte(`{"ev":"span","t":1,"span":{"name":"x","ns":1},"extra":true}`)); err == nil {
+		t.Error("unknown top-level field passed strict decoding")
+	}
+	if _, err := DecodeEvent([]byte(`{"ev":"span","t":1,"span":{"name":"x","ns":1,"nope":2}}`)); err == nil {
+		t.Error("unknown nested field passed strict decoding")
+	}
+	if _, err := DecodeEvent([]byte(`not json`)); err == nil {
+		t.Error("garbage line decoded")
+	}
+}
+
+func TestReadEventsReportsLine(t *testing.T) {
+	trace := `{"ev":"span","t":1,"span":{"name":"a","ns":1}}
+{"ev":"span","t":1,"span":{"name":"b","ns":-5}}
+`
+	events, err := ReadEvents(strings.NewReader(trace))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("ReadEvents = %v, want line-2 error", err)
+	}
+	if len(events) != 1 {
+		t.Errorf("got %d events before the bad line, want 1", len(events))
+	}
+}
+
+// TestDisabledRunAllocatesNothing is the zero-allocation regression for
+// the default no-op path: a nil *Run must cost no allocations on any hot
+// instrumentation call.
+func TestDisabledRunAllocatesNothing(t *testing.T) {
+	var r *Run
+	allocs := testing.AllocsPerRun(1000, func() {
+		if r.Tracing() {
+			t.Fatal("nil run claims to trace")
+		}
+		r.ObservePhase(PhaseListSched, time.Millisecond)
+		r.EmitSpan("certify", time.Millisecond)
+		r.EmitGeneration(GenerationEvent{Gen: 1})
+		r.EmitEval(EvalEvent{Seq: 1})
+		_ = r.NextSeq()
+		r.Registry().Counter("x").Inc()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled instrumentation path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestRunEmitStamps: events emitted without a timestamp get one; sequence
+// numbers are strictly increasing.
+func TestRunEmit(t *testing.T) {
+	sink := &CollectSink{}
+	r := NewRun(nil, sink)
+	r.now = func() time.Time { return time.Unix(0, 12345) }
+	r.EmitSpan("x", time.Microsecond)
+	r.EmitRunStart(RunStartEvent{System: "s", Seed: 1})
+	if r.NextSeq() != 1 || r.NextSeq() != 2 {
+		t.Error("sequence numbers not increasing")
+	}
+	evs := sink.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].T != 12345 {
+		t.Errorf("event not stamped: T=%d", evs[0].T)
+	}
+	for _, ev := range evs {
+		if err := ValidateEvent(ev); err != nil {
+			t.Errorf("emitted event invalid: %v", err)
+		}
+	}
+	if !r.Active() || !r.Tracing() {
+		t.Error("run with sink should be active and tracing")
+	}
+	if NewRun(nil, nil).Tracing() {
+		t.Error("run without sink claims to trace")
+	}
+}

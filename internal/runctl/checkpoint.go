@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"momosyn/internal/ga"
+	"momosyn/internal/obs"
 )
 
 // Version is the checkpoint file format version. Load rejects files written
@@ -67,6 +68,11 @@ type Checkpoint struct {
 	// Faults are the evaluation faults recorded so far, so the run-level
 	// fault budget keeps counting across a resume.
 	Faults []EvalFault
+	// Metrics carries the cumulative observability metric state (counters,
+	// phase histograms), so a resumed run's telemetry continues from the
+	// interrupted run's totals. Empty when the run was not instrumented;
+	// checkpoints written by older builds decode with it nil.
+	Metrics []obs.MetricState
 }
 
 // Save writes the checkpoint atomically: it is serialised to a temporary

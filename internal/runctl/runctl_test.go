@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"momosyn/internal/ga"
+	"momosyn/internal/obs"
 )
 
 func TestSourceDeterministicAndRestorable(t *testing.T) {
@@ -72,9 +73,16 @@ func testCheckpoint() *Checkpoint {
 			BestGenome:  []int{0, 1, 2},
 			BestFitness: 1.5,
 			History:     []float64{3, 2, 1.5},
+			MutStats:    []ga.MutatorStats{{Attempts: 12, Accepted: 5, Improved: 2}},
 		},
 		Cache:  CacheCounters{Hits: 10, Misses: 5, Evictions: 1, Entries: 4, Capacity: 8},
 		Faults: []EvalFault{{Genome: []int{9, 9, 9}, Err: "boom", Stack: "stack", Attempts: 2}},
+		Metrics: []obs.MetricState{
+			{Name: "synth.evaluations", Kind: "counter", Value: 99},
+			{Name: "ga.mean_fitness", Kind: "gauge", Value: math.Inf(1)}, // +Inf must survive gob
+			{Name: "synth.phase_seconds.dvs", Kind: "histogram", Count: 3, Sum: 0.25,
+				Bounds: []float64{0.1, 1}, Counts: []uint64{2, 1, 0}},
+		},
 	}
 }
 
@@ -108,6 +116,24 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 	if len(got.Faults) != 1 || got.Faults[0].Err != "boom" {
 		t.Errorf("faults mismatch: %+v", got.Faults)
+	}
+	if len(s.MutStats) != 1 || s.MutStats[0] != w.MutStats[0] {
+		t.Errorf("mutator stats mismatch: %+v", s.MutStats)
+	}
+	if len(got.Metrics) != 3 {
+		t.Fatalf("metric state mismatch: %+v", got.Metrics)
+	}
+	if !math.IsInf(got.Metrics[1].Value, 1) {
+		t.Errorf("infinite gauge did not survive the round trip: %+v", got.Metrics[1])
+	}
+	// Restoring the carried state must reproduce the totals.
+	reg := obs.NewRegistry()
+	reg.Restore(got.Metrics)
+	if v := reg.Counter("synth.evaluations").Value(); v != 99 {
+		t.Errorf("restored counter = %d, want 99", v)
+	}
+	if h := reg.Histogram("synth.phase_seconds.dvs", nil); h.Count() != 3 {
+		t.Errorf("restored histogram count = %d, want 3", h.Count())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"momosyn/internal/energy"
 	"momosyn/internal/model"
@@ -122,6 +123,11 @@ type resourceState struct {
 	peFree   []float64             // software PEs
 	coreFree map[coreKey][]float64 // hardware core instances
 	clFree   []float64             // communication links
+	// timed enables wall-clock accounting of the communication-mapping
+	// portion of scheduling, accumulated into commTime. Timing is pure
+	// observation: it never influences any scheduling decision.
+	timed    bool
+	commTime time.Duration
 }
 
 type coreKey struct {
@@ -134,13 +140,27 @@ type coreKey struct {
 // start time (ALAP), ties broken by mobility then task ID. Communications
 // are mapped greedily to the connecting link giving the earliest arrival.
 func ListSchedule(s *model.System, modeID model.ModeID, mapping model.Mapping, cores CoreProvider, mob *Mobility) (*Schedule, error) {
+	sc, _, err := listSchedule(s, modeID, mapping, cores, mob, false)
+	return sc, err
+}
+
+// ListScheduleTimed is ListSchedule with phase instrumentation: it
+// additionally returns the wall-clock time spent inside communication
+// mapping (the scheduleComm portion of the run), so callers can report the
+// nested comm-mapping share of scheduling without this package depending on
+// any observability layer.
+func ListScheduleTimed(s *model.System, modeID model.ModeID, mapping model.Mapping, cores CoreProvider, mob *Mobility) (*Schedule, time.Duration, error) {
+	return listSchedule(s, modeID, mapping, cores, mob, true)
+}
+
+func listSchedule(s *model.System, modeID model.ModeID, mapping model.Mapping, cores CoreProvider, mob *Mobility, timed bool) (*Schedule, time.Duration, error) {
 	mode := s.App.Mode(modeID)
 	g := mode.Graph
 	if mob == nil {
 		var err error
 		mob, err = ComputeMobility(s, modeID, mapping)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	n := len(g.Tasks)
@@ -153,6 +173,7 @@ func ListSchedule(s *model.System, modeID model.ModeID, mapping model.Mapping, c
 		peFree:   make([]float64, len(s.Arch.PEs)),
 		coreFree: make(map[coreKey][]float64),
 		clFree:   make([]float64, len(s.Arch.CLs)),
+		timed:    timed,
 	}
 
 	indeg := make([]int, n)
@@ -168,7 +189,7 @@ func ListSchedule(s *model.System, modeID model.ModeID, mapping model.Mapping, c
 	}
 	for done := 0; done < n; done++ {
 		if len(ready) == 0 {
-			return nil, fmt.Errorf("sched: mode %q: dependency cycle", mode.Name)
+			return nil, 0, fmt.Errorf("sched: mode %q: dependency cycle", mode.Name)
 		}
 		sort.Slice(ready, func(i, j int) bool {
 			a, b := ready[i], ready[j]
@@ -198,7 +219,7 @@ func ListSchedule(s *model.System, modeID model.ModeID, mapping model.Mapping, c
 			}
 		}
 	}
-	return sc, nil
+	return sc, rs.commTime, nil
 }
 
 // scheduleTask places one task (and its incoming communications) onto the
@@ -208,12 +229,19 @@ func scheduleTask(s *model.System, mode *model.Mode, mapRow []model.PEID, cores 
 	task := g.Task(t)
 	pe := s.Arch.PE(mapRow[t])
 	dataReady := 0.0
+	var commStart time.Time
+	if rs.timed {
+		commStart = time.Now()
+	}
 	for _, eid := range g.In(t) {
 		e := g.Edge(eid)
 		arr := scheduleComm(s, mode, mapRow, rs, sc, e)
 		if arr > dataReady {
 			dataReady = arr
 		}
+	}
+	if rs.timed {
+		rs.commTime += time.Since(commStart)
 	}
 	im, okImpl := s.Lib.Type(task.Type).ImplOn(pe.ID)
 	exec := im.Time

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"time"
 
 	"momosyn/internal/dvs"
 	"momosyn/internal/energy"
 	"momosyn/internal/model"
+	"momosyn/internal/obs"
 	"momosyn/internal/sched"
 )
 
@@ -98,9 +100,52 @@ type Evaluator struct {
 	// Probs, when non-nil, replaces the per-mode execution probabilities in
 	// the average-power objective. Length must equal the number of modes.
 	Probs []float64
+	// Obs, when active, receives per-phase wall-clock timings and
+	// per-evaluation trace spans. Instrumentation is purely observational:
+	// it reads the clock but never any randomness, so attaching it cannot
+	// change an evaluation's result.
+	Obs *obs.Run
 
+	// timings accumulates the phase breakdown over all Evaluate calls.
+	timings obs.Timings
 	// ub caches PowerUpperBound of the system.
 	ub float64
+}
+
+// Timings returns the cumulative phase breakdown of every instrumented
+// Evaluate call; all-zero when Obs was never active.
+func (e *Evaluator) Timings() obs.Timings { return e.timings }
+
+// recordEval folds one evaluation's phase breakdown into the cumulative
+// timings, the phase histograms, and (when tracing) the event stream.
+func (e *Evaluator) recordEval(t obs.Timings) {
+	t.Evaluations = 1
+	e.timings.Add(t)
+	r := e.Obs
+	r.ObservePhase(obs.PhaseMobility, t.Mobility)
+	r.ObservePhase(obs.PhaseCoreAlloc, t.CoreAlloc)
+	if t.Refine > 0 {
+		r.ObservePhase(obs.PhaseRefine, t.Refine)
+	} else {
+		r.ObservePhase(obs.PhaseListSched, t.ListSched)
+		r.ObservePhase(obs.PhaseCommMap, t.CommMap)
+	}
+	if t.DVS > 0 {
+		r.ObservePhase(obs.PhaseDVS, t.DVS)
+	}
+	r.Registry().Counter("synth.evaluations").Inc()
+	if r.Tracing() {
+		r.EmitEval(obs.EvalEvent{
+			Seq:         r.NextSeq(),
+			MobilityNs:  t.Mobility.Nanoseconds(),
+			CoreAllocNs: t.CoreAlloc.Nanoseconds(),
+			ListSchedNs: t.ListSched.Nanoseconds(),
+			CommMapNs:   t.CommMap.Nanoseconds(),
+			DVSNs:       t.DVS.Nanoseconds(),
+			RefineNs:    t.Refine.Nanoseconds(),
+			TotalNs:     t.Total().Nanoseconds(),
+		})
+	}
 }
 
 // PowerUpperBound returns a bound no feasible implementation's average
@@ -163,8 +208,14 @@ func (e *Evaluator) prob(mode model.ModeID) float64 {
 func (e *Evaluator) Evaluate(mapping model.Mapping) (*Evaluation, error) {
 	s := e.Sys
 	nModes := len(s.App.Modes)
+	timed := e.Obs.Active()
+	var span obs.Timings
+	var mark time.Time
 
 	// Lines 04-05: mobilities and hardware core implementation.
+	if timed {
+		mark = time.Now()
+	}
 	mob := make([]*sched.Mobility, nModes)
 	for m := 0; m < nModes; m++ {
 		mm, err := sched.ComputeMobility(s, model.ModeID(m), mapping)
@@ -173,7 +224,14 @@ func (e *Evaluator) Evaluate(mapping model.Mapping) (*Evaluation, error) {
 		}
 		mob[m] = mm
 	}
+	if timed {
+		span.Mobility = time.Since(mark)
+		mark = time.Now()
+	}
 	alloc := AllocateCoresWith(s, mapping, mob, e.NoReplicaCores)
+	if timed {
+		span.CoreAlloc = time.Since(mark)
+	}
 
 	ev := &Evaluation{
 		Mapping:    mapping,
@@ -189,17 +247,36 @@ func (e *Evaluator) Evaluate(mapping model.Mapping) (*Evaluation, error) {
 		mode := s.App.Mode(model.ModeID(m))
 		var sc *sched.Schedule
 		var err error
-		if e.RefineIterations > 0 {
+		switch {
+		case e.RefineIterations > 0:
 			rng := rand.New(rand.NewSource(int64(mappingHash(mapping, m))))
+			if timed {
+				mark = time.Now()
+			}
 			sc, err = sched.Refine(s, model.ModeID(m), mapping, alloc, mob[m], e.RefineIterations, rng)
-		} else {
+			if timed {
+				span.Refine += time.Since(mark)
+			}
+		case timed:
+			mark = time.Now()
+			var comm time.Duration
+			sc, comm, err = sched.ListScheduleTimed(s, model.ModeID(m), mapping, alloc, mob[m])
+			span.ListSched += time.Since(mark)
+			span.CommMap += comm
+		default:
 			sc, err = sched.ListSchedule(s, model.ModeID(m), mapping, alloc, mob[m])
 		}
 		if err != nil {
 			return nil, fmt.Errorf("synth: mode %q: %w", mode.Name, err)
 		}
 		if e.UseDVS {
+			if timed {
+				mark = time.Now()
+			}
 			dvs.ScaleWith(s, sc, dvs.Config{SoftwareOnly: e.DVSSoftwareOnly})
+			if timed {
+				span.DVS += time.Since(mark)
+			}
 		}
 		ev.Schedules[m] = sc
 		ev.Lateness[m] = sc.Lateness(s)
@@ -232,6 +309,9 @@ func (e *Evaluator) Evaluate(mapping model.Mapping) (*Evaluation, error) {
 			e.ub = PowerUpperBound(s)
 		}
 		ev.Fitness += e.ub
+	}
+	if timed {
+		e.recordEval(span)
 	}
 	return ev, nil
 }

@@ -1,0 +1,289 @@
+package synth
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"momosyn/internal/ga"
+	"momosyn/internal/obs"
+	"momosyn/internal/runctl"
+)
+
+// TestTracingDoesNotChangeSynthesis is the determinism regression of the
+// observability layer: the same seed must produce a byte-identical
+// synthesis whether tracing is attached or not, because instrumentation
+// only reads the clock and never the random stream.
+func TestTracingDoesNotChangeSynthesis(t *testing.T) {
+	sys := testSystem(t)
+	opts := Options{
+		UseDVS: true,
+		GA:     ga.Config{PopSize: 16, MaxGenerations: 25, Stagnation: 10},
+		Seed:   42,
+	}
+	plain, err := Synthesize(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &obs.CollectSink{}
+	traced := opts
+	traced.Obs = obs.NewRun(nil, sink)
+	withTrace, err := Synthesize(sys, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := canonicalReport(plain), canonicalReport(withTrace)
+	if a != b {
+		t.Fatalf("tracing changed the synthesis:\n--- plain ---\n%s--- traced ---\n%s", a, b)
+	}
+	if withTrace.Timings.Evaluations == 0 {
+		t.Error("instrumented run recorded no evaluation timings")
+	}
+	if plain.Timings.Evaluations != 0 {
+		t.Error("uninstrumented run recorded evaluation timings")
+	}
+}
+
+// TestTraceEventStream checks the content of the emitted events: schema
+// validity, sequential generation numbering, the paper's per-generation
+// convergence fields and per-operator mutation acceptance counts.
+func TestTraceEventStream(t *testing.T) {
+	sys := testSystem(t)
+	sink := &obs.CollectSink{}
+	run := obs.NewRun(nil, sink)
+	res, err := Synthesize(sys, Options{
+		UseDVS: true,
+		GA:     ga.Config{PopSize: 16, MaxGenerations: 20, Stagnation: 20},
+		Seed:   7,
+		Obs:    run,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := sink.Events()
+	if len(events) == 0 {
+		t.Fatal("no events emitted")
+	}
+	for i, ev := range events {
+		if err := obs.ValidateEvent(ev); err != nil {
+			t.Fatalf("event %d invalid: %v", i, err)
+		}
+	}
+	if events[0].Ev != obs.EvRunStart {
+		t.Errorf("first event is %q, want run_start", events[0].Ev)
+	}
+	last := events[len(events)-1]
+	if last.Ev != obs.EvRunEnd {
+		t.Fatalf("last event is %q, want run_end", last.Ev)
+	}
+	if last.End.Generations != res.GA.Generations || last.End.Evaluations != res.GA.Evaluations {
+		t.Errorf("run_end reports %d gens / %d evals, result has %d / %d",
+			last.End.Generations, last.End.Evaluations, res.GA.Generations, res.GA.Evaluations)
+	}
+
+	var gens []*obs.GenerationEvent
+	evals := 0
+	for _, ev := range events {
+		switch ev.Ev {
+		case obs.EvGeneration:
+			gens = append(gens, ev.Gen)
+		case obs.EvEval:
+			evals++
+		}
+	}
+	if len(gens) != res.GA.Generations {
+		t.Fatalf("%d generation events for %d generations", len(gens), res.GA.Generations)
+	}
+	if evals == 0 {
+		t.Error("no per-evaluation timing spans emitted")
+	}
+	for i, g := range gens {
+		if g.Gen != i+1 {
+			t.Fatalf("generation events not sequential: event %d numbered %d", i, g.Gen)
+		}
+		if float64(g.BestFitness) != res.GA.History[i] {
+			t.Errorf("gen %d best fitness %v, history records %v", g.Gen, float64(g.BestFitness), res.GA.History[i])
+		}
+		if !(float64(g.AvgPower) > 0) {
+			t.Errorf("gen %d average power %v, want > 0", g.Gen, float64(g.AvgPower))
+		}
+		if float64(g.TimingPenalty) < 1 || float64(g.AreaPenalty) < 1 || float64(g.TransPenalty) < 1 {
+			t.Errorf("gen %d penalty terms below 1: %v %v %v",
+				g.Gen, float64(g.TimingPenalty), float64(g.AreaPenalty), float64(g.TransPenalty))
+		}
+		if len(g.Mutations) != 4 {
+			t.Fatalf("gen %d reports %d mutation operators, want 4", g.Gen, len(g.Mutations))
+		}
+	}
+	wantNames := []string{"shutdown", "area", "timing", "transition"}
+	final := gens[len(gens)-1]
+	attempts := 0
+	for i, m := range final.Mutations {
+		if m.Name != wantNames[i] {
+			t.Errorf("mutation operator %d named %q, want %q", i, m.Name, wantNames[i])
+		}
+		attempts += m.Attempts
+	}
+	if attempts == 0 {
+		t.Error("no improvement-mutation attempts recorded over the whole run")
+	}
+
+	// The phase histograms must account for every instrumented evaluation.
+	found := false
+	for _, st := range run.Export() {
+		if st.Name == "synth.phase_seconds.list_sched" && st.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("list-scheduling phase histogram is empty")
+	}
+}
+
+// TestTraceResumeContinuity: a resumed run's telemetry continues where the
+// interrupted run stopped — generation events pick up at the next
+// generation, run_start records the resume point, and checkpointed metric
+// state carries the cumulative counters across the interruption.
+func TestTraceResumeContinuity(t *testing.T) {
+	sys := widerSystem(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+
+	// Interrupted, instrumented run.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	first := runOpts(ckpt)
+	first.CheckpointEvery = 3
+	first.Context = ctx
+	evals := 0
+	first.evalHook = func([]int) {
+		evals++
+		if evals == 60 {
+			cancel()
+		}
+	}
+	sink1 := &obs.CollectSink{}
+	first.Obs = obs.NewRun(nil, sink1)
+	part, err := Synthesize(sys, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Partial {
+		t.Fatal("first run was not interrupted")
+	}
+
+	cp, err := runctl.Load(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Metrics) == 0 {
+		t.Fatal("checkpoint carries no metric state")
+	}
+	ckptEvals := uint64(0)
+	for _, st := range cp.Metrics {
+		if st.Name == "synth.evaluations" && st.Kind == "counter" {
+			ckptEvals = uint64(st.Value)
+		}
+	}
+	if ckptEvals == 0 {
+		t.Fatal("checkpointed synth.evaluations counter is zero")
+	}
+	if len(cp.Snapshot.MutStats) != 4 {
+		t.Fatalf("checkpoint carries %d mutator stat entries, want 4", len(cp.Snapshot.MutStats))
+	}
+
+	// Resumed, instrumented run.
+	second := runOpts(ckpt)
+	second.CheckpointEvery = 3
+	second.Resume = true
+	sink2 := &obs.CollectSink{}
+	run2 := obs.NewRun(nil, sink2)
+	second.Obs = run2
+	full, err := Synthesize(sys, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Partial {
+		t.Fatalf("resumed run unexpectedly partial: %s", full.GA.Reason)
+	}
+
+	events := sink2.Events()
+	if events[0].Ev != obs.EvRunStart {
+		t.Fatalf("first resumed event is %q", events[0].Ev)
+	}
+	if events[0].Run.ResumedFrom != cp.Snapshot.Generation {
+		t.Errorf("run_start resumed_from = %d, checkpoint was at generation %d",
+			events[0].Run.ResumedFrom, cp.Snapshot.Generation)
+	}
+	var firstGen, lastGen *obs.GenerationEvent
+	for _, ev := range events {
+		if ev.Ev == obs.EvGeneration {
+			if firstGen == nil {
+				firstGen = ev.Gen
+			}
+			lastGen = ev.Gen
+		}
+	}
+	if firstGen == nil {
+		t.Fatal("resumed run emitted no generation events")
+	}
+	if firstGen.Gen != cp.Snapshot.Generation+1 {
+		t.Errorf("resumed trace starts at generation %d, want %d", firstGen.Gen, cp.Snapshot.Generation+1)
+	}
+	if lastGen.Gen != full.GA.Generations {
+		t.Errorf("resumed trace ends at generation %d, run completed %d", lastGen.Gen, full.GA.Generations)
+	}
+	// Mutation attempts are cumulative across the interruption: the resumed
+	// run's totals can only grow past the checkpointed ones.
+	for i, m := range lastGen.Mutations {
+		if m.Attempts < cp.Snapshot.MutStats[i].Attempts {
+			t.Errorf("mutator %q attempts %d fell below the checkpointed %d",
+				m.Name, m.Attempts, cp.Snapshot.MutStats[i].Attempts)
+		}
+	}
+
+	// Restored metric state continues the cumulative evaluation counter.
+	resumedEvals := uint64(0)
+	for _, st := range run2.Export() {
+		if st.Name == "synth.evaluations" && st.Kind == "counter" {
+			resumedEvals = uint64(st.Value)
+		}
+	}
+	if resumedEvals <= ckptEvals {
+		t.Errorf("resumed evaluation counter %d does not continue from checkpointed %d", resumedEvals, ckptEvals)
+	}
+}
+
+// TestMeanFitnessFieldFinite: the generation events of a healthy run carry
+// a finite population-mean fitness at convergence.
+func TestMeanFitnessFieldFinite(t *testing.T) {
+	sys := testSystem(t)
+	sink := &obs.CollectSink{}
+	_, err := Synthesize(sys, Options{
+		GA:   ga.Config{PopSize: 12, MaxGenerations: 15, Stagnation: 15},
+		Seed: 3,
+		Obs:  obs.NewRun(nil, sink),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *obs.GenerationEvent
+	for _, ev := range sink.Events() {
+		if ev.Ev == obs.EvGeneration {
+			last = ev.Gen
+		}
+	}
+	if last == nil {
+		t.Fatal("no generation events")
+	}
+	if math.IsNaN(float64(last.MeanFitness)) {
+		t.Error("mean fitness is NaN")
+	}
+	if last.Infeasible > 0 && math.IsInf(float64(last.MeanFitness), 1) && last.Infeasible < 12 {
+		t.Error("mean fitness +Inf despite feasible individuals in the population")
+	}
+}

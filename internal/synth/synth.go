@@ -9,9 +9,23 @@ import (
 
 	"momosyn/internal/ga"
 	"momosyn/internal/model"
+	"momosyn/internal/obs"
 	"momosyn/internal/runctl"
 	"momosyn/internal/verify"
 )
+
+// mutationNames are the reporting labels of the four improvement mutations,
+// in the order Synthesize passes them to the engine.
+var mutationNames = [...]string{"shutdown", "area", "timing", "transition"}
+
+// MutationName labels improvement-mutation slot i as it appears in
+// Result.GA.Mutators and in trace events, for CLI reporting.
+func MutationName(i int) string {
+	if i >= 0 && i < len(mutationNames) {
+		return mutationNames[i]
+	}
+	return fmt.Sprintf("mutator%d", i)
+}
 
 // FitnessCacheCap bounds the fitness cache of one synthesis run. Beyond
 // this many distinct genomes the oldest entries are evicted FIFO; the run
@@ -82,6 +96,13 @@ type Options struct {
 	// CertifyOptions tunes the certifier; zero value selects its defaults.
 	CertifyOptions verify.Options
 
+	// Obs, when active, records run telemetry: per-phase timing histograms,
+	// GA convergence gauges and (when a trace sink is attached) the JSONL
+	// event stream. Like Certify it never changes the search trajectory, so
+	// it is excluded from the checkpoint fingerprint: resuming a run with
+	// tracing toggled is valid and yields the identical result.
+	Obs *obs.Run
+
 	// evalHook, when set, runs before every uncached fitness evaluation
 	// (test seam for fault injection).
 	evalHook func(genome []int)
@@ -121,6 +142,9 @@ type Result struct {
 	// Certification is the independent certifier's report on Best; nil
 	// unless Options.Certify was set.
 	Certification *verify.Report
+	// Timings is the cumulative phase breakdown of the run (all-zero unless
+	// Options.Obs was active).
+	Timings obs.Timings
 }
 
 // problem adapts the evaluator to the GA engine with a bounded,
@@ -194,11 +218,13 @@ func Synthesize(sys *model.System, opts Options) (*Result, error) {
 	if w == (Weights{}) {
 		w = DefaultWeights()
 	}
+	run := opts.Obs
 	eval := &Evaluator{
 		Sys: sys, UseDVS: opts.UseDVS, Weights: w,
 		DVSSoftwareOnly:  opts.DVSSoftwareOnly,
 		NoReplicaCores:   opts.NoReplicaCores,
 		RefineIterations: opts.RefineIterations,
+		Obs:              run,
 	}
 	if opts.NeglectProbabilities {
 		eval.Probs = UniformProbs(sys)
@@ -246,6 +272,7 @@ func Synthesize(sys *model.System, opts Options) (*Result, error) {
 				Snapshot:    *s,
 				Cache:       prob.counters(),
 				Faults:      guard.Faults(),
+				Metrics:     run.Export(),
 			})
 		}
 	}
@@ -267,6 +294,8 @@ func Synthesize(sys *model.System, opts Options) (*Result, error) {
 		prob.stats = runctl.CacheCounters{
 			Hits: cp.Cache.Hits, Misses: cp.Cache.Misses, Evictions: cp.Cache.Evictions,
 		}
+		// Telemetry continues from the interrupted run's totals.
+		run.RestoreMetrics(cp.Metrics)
 	}
 
 	var mutators []ga.Mutator
@@ -278,6 +307,20 @@ func Synthesize(sys *model.System, opts Options) (*Result, error) {
 			codec.TransitionMutation(),
 		}
 	}
+	if run.Active() {
+		rc.OnGeneration = observeGenerations(run, sys, opts, w, codec, prob)
+	}
+	resumedFrom := 0
+	if rc.Resume != nil {
+		resumedFrom = rc.Resume.Generation
+	}
+	run.EmitRunStart(obs.RunStartEvent{
+		System:      sys.App.Name,
+		Seed:        opts.Seed,
+		ResumedFrom: resumedFrom,
+		DVS:         opts.UseDVS,
+		Neglect:     opts.NeglectProbabilities,
+	})
 	start := time.Now()
 	res := ga.RunControlled(guard, opts.GA, rc, rng, mutators...)
 	elapsed := time.Since(start)
@@ -308,13 +351,102 @@ func Synthesize(sys *model.System, opts Options) (*Result, error) {
 		Partial:        res.Partial,
 		Cache:          prob.counters(),
 		Faults:         guard.Faults(),
+		Timings:        eval.Timings(),
 	}
 	if opts.Certify {
 		// Best is always reported under the true probabilities, so the
 		// certifier checks against the specification's distribution.
+		var certStart time.Time
+		if run.Active() {
+			certStart = time.Now()
+		}
 		out.Certification = CertifyEvaluation(sys, best, nil, opts.CertifyOptions)
+		if run.Active() {
+			d := time.Since(certStart)
+			out.Timings.Certify = d
+			run.ObservePhase(obs.PhaseCertify, d)
+			run.EmitSpan("certify", d)
+		}
 	}
+	run.EmitRunEnd(obs.RunEndEvent{
+		Generations: res.Generations,
+		Evaluations: res.Evaluations,
+		BestFitness: obs.Float(res.BestFitness),
+		AvgPower:    obs.Float(best.AvgPower),
+		Feasible:    best.Feasible(),
+		Partial:     res.Partial,
+		Reason:      res.Reason,
+		ElapsedNs:   elapsed.Nanoseconds(),
+	})
 	return out, nil
+}
+
+// observeGenerations builds the per-generation observer: it refreshes the
+// convergence gauges and, when tracing, emits one generation event with the
+// best individual's power/penalty breakdown. The breakdown comes from a
+// quiet re-evaluation (memoised on the best genome) outside the engine's
+// random stream and instrumentation, so observation perturbs neither the
+// search nor the phase statistics.
+func observeGenerations(run *obs.Run, sys *model.System, opts Options, w Weights, codec *Codec, prob *problem) func(ga.GenerationStats) {
+	quiet := &Evaluator{
+		Sys: sys, UseDVS: opts.UseDVS, Weights: w,
+		DVSSoftwareOnly:  opts.DVSSoftwareOnly,
+		NoReplicaCores:   opts.NoReplicaCores,
+		RefineIterations: opts.RefineIterations,
+	}
+	if opts.NeglectProbabilities {
+		quiet.Probs = UniformProbs(sys)
+	}
+	reg := run.Registry()
+	var lastKey string
+	var lastEv *Evaluation
+	return func(s ga.GenerationStats) {
+		c := prob.counters()
+		reg.Gauge("ga.generation").Set(float64(s.Generation))
+		reg.Gauge("ga.best_fitness").Set(s.BestFitness)
+		reg.Gauge("ga.mean_fitness").Set(s.MeanFitness)
+		reg.Gauge("ga.diversity").Set(s.Diversity)
+		reg.Gauge("ga.stagnant").Set(float64(s.Stagnant))
+		reg.Gauge("ga.restarts").Set(float64(s.Restarts))
+		reg.Gauge("cache.entries").Set(float64(c.Entries))
+		reg.Gauge("cache.hit_rate").Set(c.HitRate())
+		if !run.Tracing() {
+			return
+		}
+		ev := obs.GenerationEvent{
+			Gen:            s.Generation,
+			BestFitness:    obs.Float(s.BestFitness),
+			MeanFitness:    obs.Float(s.MeanFitness),
+			Infeasible:     s.Infeasible,
+			Evaluations:    s.Evaluations,
+			Stagnant:       s.Stagnant,
+			Restarts:       s.Restarts,
+			Diversity:      s.Diversity,
+			CacheHits:      c.Hits,
+			CacheMisses:    c.Misses,
+			CacheEvictions: c.Evictions,
+			CacheHitRate:   c.HitRate(),
+		}
+		for i, m := range s.Mutators {
+			ev.Mutations = append(ev.Mutations, obs.MutationStats{
+				Name: MutationName(i), Attempts: m.Attempts, Accepted: m.Accepted, Improved: m.Improved,
+			})
+		}
+		if key := codec.Key(s.BestGenome); key != lastKey || lastEv == nil {
+			if be, err := safeEvaluate(quiet, codec.Decode(s.BestGenome)); err == nil {
+				lastKey, lastEv = key, be
+			}
+		}
+		if lastEv != nil {
+			ev.AvgPower = obs.Float(lastEv.AvgPower)
+			ev.TimingPenalty = obs.Float(lastEv.TimingPenalty)
+			ev.AreaPenalty = obs.Float(lastEv.AreaPenalty)
+			ev.TransPenalty = obs.Float(lastEv.TransPenalty)
+			ev.Unroutable = lastEv.Unroutable
+			ev.Feasible = lastEv.Feasible()
+		}
+		run.EmitGeneration(ev)
+	}
 }
 
 // checkResumable verifies a checkpoint belongs to this (spec, seed,

@@ -30,6 +30,11 @@ go test -run='^$' -fuzz=FuzzRead -fuzztime=5s -fuzzminimizetime=5s ./internal/sp
 echo "==> fuzz smoke (runctl.FuzzCheckpoint)"
 go test -run='^$' -fuzz=FuzzCheckpoint -fuzztime=5s -fuzzminimizetime=5s ./internal/runctl
 
+# Observability smoke: a traced synthesis and benchmark row, every JSONL
+# event and the metrics snapshot schema-validated by mmtrace.
+echo "==> trace smoke (mmsynth -trace/-metrics through mmtrace)"
+./scripts/trace_smoke.sh
+
 # Certification sweep: every benchmark spec through `mmsynth -certify` at
 # a small GA budget, plus a fault-injection negative control (exit 4).
 echo "==> certify (specs/ through mmsynth -certify)"

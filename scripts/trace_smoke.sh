@@ -1,0 +1,33 @@
+#!/bin/sh
+# trace_smoke.sh — end-to-end smoke test of the observability pipeline:
+# run mmsynth with -trace/-metrics on a small spec, then validate every
+# JSONL event and the metrics snapshot with mmtrace. A schema regression
+# in the trace writer fails CI here even if no unit test covers it.
+# See docs/OBSERVABILITY.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+echo "==> build mmsynth, mmbench, mmtrace"
+go build -o "$workdir" ./cmd/mmsynth ./cmd/mmbench ./cmd/mmtrace
+
+echo "==> traced synthesis (specs/mul1.spec, small GA budget)"
+"$workdir/mmsynth" -spec specs/mul1.spec -dvs \
+    -pop 16 -gens 25 -stagnation 10 \
+    -trace "$workdir/run.jsonl" -metrics "$workdir/metrics.json" \
+    > "$workdir/report.txt"
+grep -q '^mutations' "$workdir/report.txt"
+grep -q '^phase times' "$workdir/report.txt"
+
+echo "==> validate trace + metrics"
+"$workdir/mmtrace" -summary -metrics "$workdir/metrics.json" "$workdir/run.jsonl"
+
+echo "==> traced benchmark row (Table 3, 1 rep)"
+"$workdir/mmbench" -table 3 -reps 1 -pop 12 -gens 10 -progress \
+    -trace "$workdir/bench.jsonl" > /dev/null
+"$workdir/mmtrace" "$workdir/bench.jsonl"
+
+echo "==> trace smoke OK"
