@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz-smoke trace-smoke certify bench ci
+.PHONY: all build test race vet lint fuzz-smoke trace-smoke serve-smoke certify bench ci
 
 all: build
 
@@ -35,6 +35,12 @@ fuzz-smoke:
 # docs/OBSERVABILITY.md.
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# Job-service smoke: boot mmserved on a free port, drive one synthesis job
+# over HTTP to a certified result, then SIGTERM and require a clean drain.
+# See docs/SERVER.md.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Oracle-check the whole benchmark suite: every spec through
 # `mmsynth -certify` at a small GA budget, plus a fault-injection negative

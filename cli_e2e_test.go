@@ -19,7 +19,7 @@ import (
 func buildTools(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, tool := range []string{"mmgen", "mmsynth", "mmbench", "mmsim", "mmlint", "mmtrace"} {
+	for _, tool := range []string{"mmgen", "mmsynth", "mmbench", "mmsim", "mmlint", "mmtrace", "mmserved"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		out, err := cmd.CombinedOutput()
 		if err != nil {

@@ -49,7 +49,7 @@ func main() {
 		pop      = flag.Int("pop", 64, "GA population size")
 		gens     = flag.Int("gens", 300, "GA generation limit")
 		stag     = flag.Int("stagnation", 80, "GA stagnation limit")
-		parallel = flag.Int("parallel", 4, "concurrent synthesis runs per cell")
+		parallel = flag.Int("parallel", 4, "concurrent synthesis runs across the whole table (rows fan out onto a worker pool; printed output is identical to -parallel 1)")
 		certify  = flag.Bool("certify", false, "independently certify every repetition's result; a refused certification exits 4")
 
 		progress    = flag.Bool("progress", false, "print a stderr heartbeat after each benchmark row")

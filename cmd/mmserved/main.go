@@ -1,0 +1,130 @@
+// Command mmserved serves multi-mode synthesis as a long-running HTTP JSON
+// job service: clients POST specifications to /v1/jobs, poll live GA
+// progress, fetch certified results and cancel runs, while a bounded queue
+// and a configurable worker pool keep the machine loaded without being
+// overrun. See docs/SERVER.md for the API.
+//
+//	mmserved -data /var/lib/mmserved
+//	mmserved -data ./run -addr 127.0.0.1:8080 -workers 4 -specs ./specs
+//
+// Jobs checkpoint their engine state into the data directory; a restarted
+// server lists finished jobs, re-queues interrupted ones and resumes them
+// from their checkpoints. SIGINT/SIGTERM drain gracefully: submissions are
+// refused, running syntheses stop at the next generation boundary with a
+// final checkpoint, and the process exits 0.
+//
+// Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"momosyn/internal/obs"
+	"momosyn/internal/runctl"
+	"momosyn/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		dataDir   = flag.String("data", "", "data directory for job manifests, checkpoints and results (required)")
+		specDir   = flag.String("specs", "", "directory of named specifications clients may reference via spec_name")
+		workers   = flag.Int("workers", 2, "synthesis worker pool size")
+		queue     = flag.Int("queue", 16, "bounded job queue depth (full queue answers 429)")
+		ckptEvery = flag.Int("checkpoint-every", 5, "generations between per-job checkpoints")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for in-flight jobs")
+		traceJobs = flag.Bool("trace-jobs", false, "write a JSONL run-trace per job into its data directory")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "mmserved: ", log.LstdFlags)
+	if flag.NArg() > 0 {
+		fatalUsage(fmt.Errorf("unexpected arguments %v", flag.Args()))
+	}
+	if *dataDir == "" {
+		fatalUsage(errors.New("-data is required"))
+	}
+	if *workers <= 0 || *queue <= 0 || *ckptEvery <= 0 {
+		fatalUsage(errors.New("-workers, -queue and -checkpoint-every must be positive"))
+	}
+
+	srv, err := serve.New(serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DataDir:         *dataDir,
+		SpecDir:         *specDir,
+		CheckpointEvery: *ckptEvery,
+		TraceJobs:       *traceJobs,
+		Registry:        obs.NewRegistry(),
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		logger.Print(err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		os.Exit(1)
+	}
+	// The resolved address goes to stdout so scripts (and humans) can find
+	// a :0-assigned port.
+	fmt.Printf("mmserved listening on http://%s\n", ln.Addr())
+
+	ctx, stop := runctl.NotifyContext(context.Background())
+	defer stop()
+	srv.Start(ctx)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				serveErr <- fmt.Errorf("http server panicked: %v", p)
+			}
+		}()
+		serveErr <- httpSrv.Serve(ln)
+	}()
+
+	exit := 0
+	select {
+	case <-ctx.Done():
+		logger.Printf("signal received, draining (deadline %v)", *drain)
+	case err := <-serveErr:
+		logger.Printf("http server failed: %v", err)
+		exit = 1
+	}
+
+	deadline, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(deadline); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(deadline); err != nil {
+		logger.Printf("%v (interrupted jobs stay resumable)", err)
+		if exit == 0 {
+			exit = 1
+		}
+	} else {
+		logger.Print("drained cleanly")
+	}
+	if exit != 0 {
+		os.Exit(exit)
+	}
+}
+
+// fatalUsage reports a command-line usage error (exit 2), matching the
+// flag package's own exit code for unparsable flags.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "mmserved:", err)
+	flag.Usage()
+	os.Exit(2)
+}

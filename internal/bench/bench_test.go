@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -291,5 +292,44 @@ func TestRunCellParallelMatchesSerial(t *testing.T) {
 	if serial.Power != parallel.Power || serial.MinPower != parallel.MinPower ||
 		serial.MaxPower != parallel.MaxPower || serial.FeasibleRuns != parallel.FeasibleRuns {
 		t.Errorf("parallel cell differs from serial: %+v vs %+v", parallel, serial)
+	}
+}
+
+// cpuColRe matches the wall-clock CPU columns of a printed table; they are
+// the one part of the output that legitimately varies between runs.
+var cpuColRe = regexp.MustCompile(`\d+\.\ds`)
+
+// TestTableParallelMatchesSerial fans the Table 3 rows out onto a worker
+// pool and requires the printed table — row order included — to be
+// byte-identical to the serial run, with only the measured CPU-time
+// columns normalised away.
+func TestTableParallelMatchesSerial(t *testing.T) {
+	cfg := tinyCfg()
+	var serialOut bytes.Buffer
+	serialRows, err := Table3(cfg, &serialOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = tinyCfg()
+	cfg.Parallel = 4
+	var parallelOut bytes.Buffer
+	parallelRows, err := Table3(cfg, &parallelOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cpuColRe.ReplaceAllString(serialOut.String(), "CPU")
+	b := cpuColRe.ReplaceAllString(parallelOut.String(), "CPU")
+	if a != b {
+		t.Errorf("parallel table output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
+	}
+	if len(serialRows) != len(parallelRows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serialRows), len(parallelRows))
+	}
+	for i := range serialRows {
+		s, p := serialRows[i], parallelRows[i]
+		if s.Name != p.Name || s.Without.Power != p.Without.Power || s.With.Power != p.With.Power {
+			t.Errorf("row %d differs: serial %q %v/%v, parallel %q %v/%v",
+				i, s.Name, s.Without.Power, s.With.Power, p.Name, p.Without.Power, p.With.Power)
+		}
 	}
 }

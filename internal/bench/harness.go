@@ -29,9 +29,11 @@ type HarnessConfig struct {
 	// Reps is the number of GA runs averaged per table cell (default 5).
 	Reps int
 	// Parallel bounds the number of concurrently running synthesis jobs
-	// within a cell (default 1 = serial). Results are deterministic
-	// regardless: every repetition has its own seed and the aggregation is
-	// order-independent.
+	// across the whole experiment (default 1 = serial): table rows fan out
+	// onto a worker pool and every repetition of every cell draws from one
+	// shared slot budget. Results and printed output are deterministic
+	// regardless: every repetition has its own seed, aggregation is
+	// order-independent, and rows are delivered in table order.
 	Parallel int
 	// BaseSeed offsets the per-repetition seeds.
 	BaseSeed int64
@@ -61,6 +63,12 @@ type HarnessConfig struct {
 	// mmbench -progress points it at stderr so long studies are visibly
 	// alive without polluting the result table on stdout.
 	Progress io.Writer
+
+	// sem is the shared synthesis-slot semaphore (capacity Parallel). It is
+	// created once per experiment by withDefaults and then travels with the
+	// config copies, so concurrently evaluated rows cannot multiply the
+	// configured parallelism.
+	sem chan struct{}
 }
 
 func (c HarnessConfig) withDefaults() HarnessConfig {
@@ -72,6 +80,9 @@ func (c HarnessConfig) withDefaults() HarnessConfig {
 	}
 	if c.GA.PopSize == 0 && c.GA.MaxGenerations == 0 {
 		c.GA = DefaultGA()
+	}
+	if c.sem == nil {
+		c.sem = make(chan struct{}, c.Parallel)
 	}
 	return c
 }
@@ -129,7 +140,7 @@ func RunCell(sys *model.System, useDVS, neglect bool, cfg HarnessConfig) (CellSt
 		err      error
 	}
 	outs := make([]outcome, cfg.Reps)
-	sem := make(chan struct{}, cfg.Parallel)
+	sem := cfg.sem
 	var wg sync.WaitGroup
 	for r := 0; r < cfg.Reps; r++ {
 		wg.Add(1)
@@ -272,7 +283,56 @@ func Table2(cfg HarnessConfig, w io.Writer) ([]Row, error) {
 	return mulTable(true, cfg, w)
 }
 
+// forEachRowOrdered evaluates n table rows concurrently — compute(i) runs
+// in its own panic-isolated goroutine, with the actual synthesis width
+// bounded by the config's shared slot semaphore, not the row count — while
+// emit(row) observes the rows strictly in table order, exactly as the
+// serial protocol prints them. The first error in row order wins (matching
+// what a serial run would have reported); later rows still finish but are
+// not emitted.
+func forEachRowOrdered(n int, compute func(i int) (Row, error), emit func(Row)) error {
+	type out struct {
+		row Row
+		err error
+	}
+	outs := make([]out, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{}, 1)
+	}
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			// Panic barrier: a panicking row surfaces as that row's error,
+			// not as a dead study. (The completion signal is a buffered send,
+			// not a channel close: this package defines its own close helper,
+			// which shadows the builtin.)
+			defer func() {
+				if p := recover(); p != nil {
+					outs[i] = out{err: fmt.Errorf("bench: row %d: panic: %v", i+1, p)}
+				}
+				done[i] <- struct{}{}
+			}()
+			row, err := compute(i)
+			outs[i] = out{row: row, err: err}
+		}(i)
+	}
+	var firstErr error
+	for i := 0; i < n; i++ {
+		<-done[i]
+		if firstErr != nil {
+			continue
+		}
+		if outs[i].err != nil {
+			firstErr = outs[i].err
+			continue
+		}
+		emit(outs[i].row)
+	}
+	return firstErr
+}
+
 func mulTable(useDVS bool, cfg HarnessConfig, w io.Writer) ([]Row, error) {
+	cfg = cfg.withDefaults()
 	table := "1"
 	if useDVS {
 		table = "2"
@@ -283,15 +343,17 @@ func mulTable(useDVS bool, cfg HarnessConfig, w io.Writer) ([]Row, error) {
 	if w != nil {
 		fmt.Fprint(w, tableHeader(useDVS))
 	}
-	for i := 1; i <= NumMuls; i++ {
-		sys, err := MulSystem(i)
+	err := forEachRowOrdered(NumMuls, func(i int) (Row, error) {
+		sys, err := MulSystem(i + 1)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		row, err := Compare(fmt.Sprintf("mul%d", i), sys, useDVS, cfg)
+		row, err := Compare(fmt.Sprintf("mul%d", i+1), sys, useDVS, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("bench: mul%d: %w", i, err)
+			return Row{}, fmt.Errorf("bench: mul%d: %w", i+1, err)
 		}
+		return row, nil
+	}, func(row Row) {
 		rows = append(rows, row)
 		if row.With.Power < best {
 			best = row.With.Power
@@ -300,6 +362,9 @@ func mulTable(useDVS bool, cfg HarnessConfig, w io.Writer) ([]Row, error) {
 		if w != nil {
 			fmt.Fprint(w, formatRow(row))
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	if w != nil {
 		fmt.Fprint(w, formatSummary(rows))
@@ -314,21 +379,21 @@ func Table3(cfg HarnessConfig, w io.Writer) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg = cfg.withDefaults()
 	started := time.Now()
 	best := math.Inf(1)
 	var rows []Row
-	for _, useDVS := range []bool{false, true} {
+	if w != nil {
+		fmt.Fprint(w, tableHeader(false))
+	}
+	variants := []bool{false, true}
+	err = forEachRowOrdered(len(variants), func(i int) (Row, error) {
 		name := "smartphone w/o DVS"
-		if useDVS {
+		if variants[i] {
 			name = "smartphone with DVS"
 		}
-		if w != nil && !useDVS {
-			fmt.Fprint(w, tableHeader(false))
-		}
-		row, err := Compare(name, sys, useDVS, cfg)
-		if err != nil {
-			return nil, err
-		}
+		return Compare(name, sys, variants[i], cfg)
+	}, func(row Row) {
 		rows = append(rows, row)
 		if row.With.Power < best {
 			best = row.With.Power
@@ -337,6 +402,9 @@ func Table3(cfg HarnessConfig, w io.Writer) ([]Row, error) {
 		if w != nil {
 			fmt.Fprint(w, formatRow(row))
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -23,7 +23,7 @@ var Guardgo = &Analyzer{
 	Doc: "goroutines in the synthesis layers must be panic-isolated: " +
 		"launched through internal/runctl or opening with a defer'd recover " +
 		"barrier, so a panic cannot take down the run's best-so-far state",
-	Packages: regexp.MustCompile(`(^|/)internal/(synth|ga|bench|obs)($|/)`),
+	Packages: regexp.MustCompile(`(^|/)internal/(synth|ga|bench|obs|serve)($|/)`),
 	Run:      runGuardgo,
 }
 
@@ -71,6 +71,11 @@ func goIsGuarded(pass *Pass, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl
 	case *ast.SelectorExpr:
 		if fromRunctl(pass.Info.Uses[fun.Sel]) {
 			return true
+		}
+		// A same-package method (`go s.worker(ctx)`) is checked against its
+		// own declaration, exactly like a plain function.
+		if decl, ok := decls[pass.Info.Uses[fun.Sel]]; ok {
+			return bodyHasRecoverBarrier(pass, decl.Body)
 		}
 	}
 	return false

@@ -100,6 +100,7 @@ func TestPackageGates(t *testing.T) {
 		{Ctxflow, "momosyn/internal/ga", true},
 		{Ctxflow, "momosyn/internal/synth", true},
 		{Ctxflow, "momosyn/internal/obs", true},
+		{Ctxflow, "momosyn/internal/serve", true},
 		{Ctxflow, "momosyn/internal/gantt", false}, // "ga" must not match a prefix
 		{Ctxflow, "momosyn/internal/bench", false},
 		{Floateq, "momosyn/internal/energy", true},
@@ -109,8 +110,10 @@ func TestPackageGates(t *testing.T) {
 		{Floateq, "momosyn/internal/lint/testdata/src/floateq", false},
 		{Guardgo, "momosyn/internal/bench", true},
 		{Guardgo, "momosyn/internal/obs", true},
+		{Guardgo, "momosyn/internal/serve", true},
 		{Guardgo, "momosyn/internal/runctl", false},
 		{Guardgo, "momosyn/cmd/mmsynth", false},
+		{Guardgo, "momosyn/cmd/mmserved", false},
 	}
 	for _, c := range cases {
 		if got := c.a.Packages.MatchString(c.path); got != c.want {

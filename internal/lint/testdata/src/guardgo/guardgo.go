@@ -51,3 +51,21 @@ func Suppressed() {
 	//mmlint:ignore guardgo fixture exercising the suppression path
 	go work()
 }
+
+// pool exercises method launches: the analyzer resolves same-package
+// methods to their declarations just like plain functions.
+type pool struct{}
+
+func (p *pool) safeLoop() {
+	defer func() {
+		_ = recover()
+	}()
+	work()
+}
+
+func (p *pool) bareLoop() { work() }
+
+func (p *pool) Start() {
+	go p.safeLoop()
+	go p.bareLoop() // want "goroutine is not panic-isolated"
+}

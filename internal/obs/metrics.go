@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -368,6 +369,26 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// ServeHTTP exposes the registry as a JSON metrics endpoint: the same
+// document WriteJSON produces, with a JSON content type. A *Registry can
+// therefore be mounted directly on a mux (the synthesis job server mounts
+// its registry at GET /metrics). Snapshot assembly is atomic per metric
+// and guarded by the registry lock, so scraping concurrently with updates
+// is safe.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := r.WriteJSON(w); err != nil {
+		// Headers are out by now; all we can do is drop the connection
+		// mid-body so the scraper sees a truncated document, not a valid
+		// partial one.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+	}
 }
 
 // ValidateMetricsJSON structurally checks a metrics snapshot document as

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"momosyn/internal/model"
+	"momosyn/internal/obs"
+	"momosyn/internal/synth"
+)
+
+// State is one stage of the job lifecycle. The machine is strictly
+// forward: queued → running → (done | failed | cancelled), with the one
+// backward edge running → queued taken when a server drain interrupts a
+// job so a restarted server can resume it from its checkpoint.
+type State string
+
+// The job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state ends the lifecycle.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	case StateQueued, StateRunning:
+		return false
+	default:
+		return false
+	}
+}
+
+// valid reports whether s is a known state (manifests are external input).
+func (s State) valid() bool {
+	switch s {
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+		return true
+	default:
+		return false
+	}
+}
+
+// GAParams is the subset of the GA configuration a job may tune.
+type GAParams struct {
+	PopSize        int `json:"pop_size,omitempty"`
+	MaxGenerations int `json:"max_generations,omitempty"`
+	Stagnation     int `json:"stagnation,omitempty"`
+}
+
+// JobRequest is the body of POST /v1/jobs. Exactly one of Spec (inline
+// specification text) and SpecName (a spec from the server's spec
+// directory) must be set; SpecName is resolved at submission time and the
+// resolved text stored, so a job survives a restart without the directory.
+type JobRequest struct {
+	Spec                 string   `json:"spec,omitempty"`
+	SpecName             string   `json:"spec_name,omitempty"`
+	DVS                  bool     `json:"dvs,omitempty"`
+	NeglectProbabilities bool     `json:"neglect_probabilities,omitempty"`
+	Seed                 int64    `json:"seed,omitempty"`
+	GA                   GAParams `json:"ga,omitempty"`
+	RefineIterations     int      `json:"refine_iterations,omitempty"`
+	StallWindow          int      `json:"stall_window,omitempty"`
+	// Certify defaults to true: results leave the server certified by the
+	// independent verifier unless the client opts out explicitly.
+	Certify *bool `json:"certify,omitempty"`
+}
+
+// certify resolves the tri-state Certify field.
+func (r *JobRequest) certify() bool { return r.Certify == nil || *r.Certify }
+
+// Progress is the live convergence snapshot of a running (or finished)
+// job, fed passively from the per-job obs registry the synthesis run
+// updates each generation. Reading it never perturbs the search.
+type Progress struct {
+	Generation  int     `json:"generation"`
+	BestFitness float64 `json:"best_fitness"`
+	MeanFitness float64 `json:"mean_fitness"`
+	Diversity   float64 `json:"diversity"`
+	Stagnant    int     `json:"stagnant"`
+	Restarts    int     `json:"restarts"`
+}
+
+// Job is one synthesis job owned by the server. The mutex guards every
+// mutable field; the identity fields (ID, Request, dir) are immutable
+// after construction.
+type Job struct {
+	ID      string
+	Request JobRequest
+	dir     string
+	// system is the specification's system name, resolved at submission
+	// (or recovery) time for display.
+	system string
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	// resumedFrom is the checkpointed generation the current (or last) run
+	// continued from; 0 for fresh runs.
+	resumedFrom int
+	// cancelRequested distinguishes a client DELETE from a server drain:
+	// both cancel the run context, but only the former is terminal.
+	cancelRequested bool
+	// cancel stops the running synthesis at its next generation boundary;
+	// nil unless the job is running.
+	cancel func(error)
+	// obsRun is the per-job instrumentation run whose registry carries the
+	// live GA gauges; nil until the job first runs.
+	obsRun *obs.Run
+	// sys and result hold the in-memory outcome for result rendering; jobs
+	// recovered from disk serve their persisted result.json instead.
+	sys    *model.System
+	result *synth.Result
+}
+
+// snapshot captures the mutable fields under the lock.
+type jobSnapshot struct {
+	State           State
+	Err             string
+	Created         time.Time
+	Started         time.Time
+	Finished        time.Time
+	ResumedFrom     int
+	CancelRequested bool
+	ObsRun          *obs.Run
+}
+
+func (j *Job) snapshot() jobSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobSnapshot{
+		State: j.state, Err: j.err,
+		Created: j.created, Started: j.started, Finished: j.finished,
+		ResumedFrom: j.resumedFrom, CancelRequested: j.cancelRequested,
+		ObsRun: j.obsRun,
+	}
+}
+
+// StatusView is the JSON shape of GET /v1/jobs/{id} and of each entry in
+// the listing.
+type StatusView struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	System   string `json:"system,omitempty"`
+	SpecName string `json:"spec_name,omitempty"`
+	Seed     int64  `json:"seed"`
+	DVS      bool   `json:"dvs"`
+	Error    string `json:"error,omitempty"`
+	Created  string `json:"created,omitempty"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+	// ResumedFrom is the checkpointed generation this job's run continued
+	// from after a server restart; 0 means it started from generation 0.
+	ResumedFrom int       `json:"resumed_from,omitempty"`
+	Progress    *Progress `json:"progress,omitempty"`
+}
+
+// status renders the job for the API. The system name comes from the
+// parsed spec when available.
+func (j *Job) status(systemName string) StatusView {
+	s := j.snapshot()
+	v := StatusView{
+		ID:          j.ID,
+		State:       s.State,
+		System:      systemName,
+		SpecName:    j.Request.SpecName,
+		Seed:        j.Request.Seed,
+		DVS:         j.Request.DVS,
+		Error:       s.Err,
+		ResumedFrom: s.ResumedFrom,
+	}
+	if !s.Created.IsZero() {
+		v.Created = s.Created.UTC().Format(time.RFC3339Nano)
+	}
+	if !s.Started.IsZero() {
+		v.Started = s.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !s.Finished.IsZero() {
+		v.Finished = s.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	if s.ObsRun.Active() && (s.State == StateRunning || s.State.Terminal()) {
+		reg := s.ObsRun.Registry()
+		v.Progress = &Progress{
+			Generation:  int(reg.Gauge("ga.generation").Value()),
+			BestFitness: reg.Gauge("ga.best_fitness").Value(),
+			MeanFitness: reg.Gauge("ga.mean_fitness").Value(),
+			Diversity:   reg.Gauge("ga.diversity").Value(),
+			Stagnant:    int(reg.Gauge("ga.stagnant").Value()),
+			Restarts:    int(reg.Gauge("ga.restarts").Value()),
+		}
+	}
+	return v
+}
+
+// requestCancel flips the job towards cancellation: a queued job becomes
+// cancelled on the spot, a running one has its context cancelled and is
+// marked cancelled by its worker at the next generation boundary. It
+// returns the state after the call and whether anything changed.
+func (j *Job) requestCancel(cause error) (State, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.cancelRequested = true
+		j.state = StateCancelled
+		j.err = ""
+		j.finished = time.Now()
+		return j.state, true
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel(cause)
+		}
+		return j.state, true
+	case StateDone, StateFailed, StateCancelled:
+		return j.state, false
+	default:
+		return j.state, false
+	}
+}
+
+// jobIDPattern validates client-supplied job identifiers before they touch
+// the filesystem: the server only ever mints IDs of this shape.
+func validJobID(id string) bool {
+	if len(id) < 2 || len(id) > 32 || id[0] != 'j' {
+		return false
+	}
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// jobID renders sequence number n as a job identifier.
+func jobID(n int) string { return fmt.Sprintf("j%06d", n) }

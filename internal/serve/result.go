@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"time"
+
+	"momosyn/internal/model"
+	"momosyn/internal/obs"
+	"momosyn/internal/synth"
+)
+
+// bytesReader isolates the one bytes dependency of the HTTP layer.
+func bytesReader(b []byte) *bytes.Reader { return bytes.NewReader(b) }
+
+// ResultView is the JSON body of GET /v1/jobs/{id}/result: the synthesised
+// implementation plus the run statistics and (unless the client opted out)
+// the independent certification report. Power and fitness fields use
+// obs.Float so an infeasible ±Inf objective survives JSON.
+type ResultView struct {
+	ID     string `json:"id"`
+	State  State  `json:"state"`
+	System string `json:"system"`
+	Seed   int64  `json:"seed"`
+	DVS    bool   `json:"dvs"`
+
+	// AvgPower is the Eq. (1) average power under the TRUE mode execution
+	// probabilities; ObjectivePower is the power under the probabilities the
+	// optimiser actually used (differs only for neglect_probabilities runs).
+	AvgPower       obs.Float `json:"avg_power"`
+	ObjectivePower obs.Float `json:"objective_power"`
+	Feasible       bool      `json:"feasible"`
+	// Partial marks an interrupted run: the implementation is best-so-far,
+	// Reason says why the run stopped.
+	Partial bool   `json:"partial,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+
+	Generations int    `json:"generations"`
+	Evaluations int    `json:"evaluations"`
+	Restarts    int    `json:"restarts,omitempty"`
+	Elapsed     string `json:"elapsed"`
+	// ResumedFrom is the checkpoint generation the run continued from after
+	// a restart; 0 for runs that started fresh.
+	ResumedFrom int `json:"resumed_from,omitempty"`
+
+	Modes         []ModeView         `json:"modes"`
+	Mapping       []MappingView      `json:"mapping"`
+	Certification *CertificationView `json:"certification,omitempty"`
+}
+
+// ModeView is one mode's power breakdown and schedule.
+type ModeView struct {
+	Name      string     `json:"name"`
+	Prob      float64    `json:"prob"`
+	Period    float64    `json:"period"`
+	Makespan  float64    `json:"makespan"`
+	DynamicW  obs.Float  `json:"dynamic_power"`
+	StaticW   obs.Float  `json:"static_power"`
+	WeightedW obs.Float  `json:"weighted_power"`
+	Schedule  []SlotView `json:"schedule"`
+}
+
+// SlotView is one scheduled task execution.
+type SlotView struct {
+	Task   string  `json:"task"`
+	PE     string  `json:"pe"`
+	Start  float64 `json:"start"`
+	Finish float64 `json:"finish"`
+	// Voltage is the selected supply voltage on DVS processors; 0 when the
+	// PE does not scale.
+	Voltage float64   `json:"voltage,omitempty"`
+	Energy  obs.Float `json:"energy"`
+}
+
+// MappingView is one mode's task → PE assignment.
+type MappingView struct {
+	Mode  string            `json:"mode"`
+	Tasks map[string]string `json:"tasks"`
+}
+
+// CertificationView summarises the independent verifier's report.
+type CertificationView struct {
+	Certified     bool            `json:"certified"`
+	Checks        int             `json:"checks"`
+	ClaimFeasible bool            `json:"claim_feasible"`
+	Violations    []ViolationView `json:"violations,omitempty"`
+}
+
+// ViolationView is one certification violation.
+type ViolationView struct {
+	Kind   string    `json:"kind"`
+	Mode   string    `json:"mode,omitempty"`
+	Detail string    `json:"detail"`
+	Got    obs.Float `json:"got"`
+	Want   obs.Float `json:"want"`
+}
+
+// renderResult serialises a finished job's result document. It tolerates
+// the partial shapes interrupted runs produce (nil Best, nil GA).
+func renderResult(j *Job, sys *model.System, res *synth.Result) ([]byte, error) {
+	snap := j.snapshot()
+	view := ResultView{
+		ID:          j.ID,
+		State:       snap.State,
+		System:      sys.App.Name,
+		Seed:        j.Request.Seed,
+		DVS:         j.Request.DVS,
+		Partial:     res.Partial,
+		Elapsed:     res.Elapsed.Round(time.Millisecond).String(),
+		ResumedFrom: snap.ResumedFrom,
+	}
+	if res.GA != nil {
+		view.Generations = res.GA.Generations
+		view.Evaluations = res.GA.Evaluations
+		view.Restarts = res.GA.Restarts
+		view.Reason = res.GA.Reason
+	}
+	if best := res.Best; best != nil {
+		view.AvgPower = obs.Float(best.AvgPower)
+		view.ObjectivePower = obs.Float(res.ObjectivePower)
+		view.Feasible = best.Feasible()
+		for m, mode := range sys.App.Modes {
+			mp := best.ModePowers[m]
+			sc := best.Schedules[m]
+			mv := ModeView{
+				Name:      mode.Name,
+				Prob:      mode.Prob,
+				Period:    mode.Period,
+				Makespan:  sc.Makespan,
+				DynamicW:  obs.Float(mp.Dynamic()),
+				StaticW:   obs.Float(mp.StaticPower),
+				WeightedW: obs.Float(mp.Total() * mode.Prob),
+			}
+			for ti := range sc.Tasks {
+				slot := sc.Tasks[ti]
+				pe := sys.Arch.PE(slot.PE)
+				sv := SlotView{
+					Task:   mode.Graph.Task(model.TaskID(ti)).Name,
+					PE:     pe.Name,
+					Start:  slot.Start,
+					Finish: slot.Finish,
+					Energy: obs.Float(slot.Energy),
+				}
+				if slot.VoltIdx >= 0 && pe.DVS {
+					sv.Voltage = pe.Levels[slot.VoltIdx]
+				}
+				mv.Schedule = append(mv.Schedule, sv)
+			}
+			view.Modes = append(view.Modes, mv)
+
+			tasks := make(map[string]string, len(mode.Graph.Tasks))
+			for ti, task := range mode.Graph.Tasks {
+				tasks[task.Name] = sys.Arch.PE(best.Mapping[m][ti]).Name
+			}
+			view.Mapping = append(view.Mapping, MappingView{Mode: mode.Name, Tasks: tasks})
+		}
+	}
+	if rep := res.Certification; rep != nil {
+		cv := &CertificationView{
+			Certified:     rep.Certified(),
+			Checks:        rep.Checks,
+			ClaimFeasible: rep.ClaimFeasible,
+		}
+		for _, v := range rep.Violations {
+			vv := ViolationView{
+				Kind:   v.Kind.String(),
+				Detail: v.Detail,
+				Got:    obs.Float(v.Got),
+				Want:   obs.Float(v.Want),
+			}
+			if mode := sys.App.Mode(v.Mode); mode != nil {
+				vv.Mode = mode.Name
+			}
+			cv.Violations = append(cv.Violations, vv)
+		}
+		view.Certification = cv
+	}
+	return json.MarshalIndent(&view, "", "  ")
+}

@@ -1,0 +1,710 @@
+// Package serve is the synthesis job service behind cmd/mmserved: a
+// standard-library-only HTTP JSON API that accepts multi-mode
+// specification uploads, queues synthesis jobs into a bounded queue with
+// backpressure, and executes them on a worker pool where every job runs
+// synth.Synthesize under its own context with panic isolation, per-job
+// runctl checkpoints and a passive obs instrumentation run feeding live
+// generation progress.
+//
+// Lifecycle: queued → running → done | failed | cancelled. Jobs persist a
+// manifest (and, when finished, their rendered result) under the data
+// directory, so a restarted server lists old jobs, re-queues interrupted
+// ones and resumes them from their checkpoints rather than from
+// generation 0. Graceful shutdown drains the workers: running jobs stop at
+// their next generation boundary, write a final checkpoint and return to
+// the queued state on disk. See docs/SERVER.md.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"time"
+
+	"momosyn/internal/ga"
+	"momosyn/internal/model"
+	"momosyn/internal/obs"
+	"momosyn/internal/runctl"
+	"momosyn/internal/specio"
+	"momosyn/internal/synth"
+)
+
+// Config tunes one Server. The zero value of optional fields selects the
+// documented defaults.
+type Config struct {
+	// Workers is the synthesis worker pool size (default 2).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run (default 16).
+	// A full queue rejects submissions with 429 and a Retry-After hint.
+	QueueDepth int
+	// DataDir is where jobs persist manifests, checkpoints, results and
+	// traces (required).
+	DataDir string
+	// SpecDir, when set, lets jobs name a built-in specification
+	// ("spec_name": "mul1" resolves to SpecDir/mul1.spec).
+	SpecDir string
+	// CheckpointEvery is the generation interval of per-job checkpoints
+	// (default 5).
+	CheckpointEvery int
+	// MaxSpecBytes bounds the accepted request body (default 1 MiB).
+	MaxSpecBytes int64
+	// TraceJobs writes a JSONL run-trace per job into its data directory.
+	TraceJobs bool
+	// Registry receives the server metrics (created when nil); it backs
+	// GET /metrics.
+	Registry *obs.Registry
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 5
+	}
+	if c.MaxSpecBytes <= 0 {
+		c.MaxSpecBytes = 1 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server owns the job table, the bounded queue and the worker pool.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs in creation order (listing order)
+	seq      int
+	draining bool
+	started  bool
+
+	queue      chan *Job
+	wg         sync.WaitGroup
+	cancelRoot context.CancelCauseFunc
+
+	// Metric handles held once so the hot paths skip the registry map.
+	qDepth     *obs.Gauge
+	running    *obs.Gauge
+	busy       *obs.Gauge
+	jobSeconds *obs.Histogram
+}
+
+// New builds a Server over cfg.DataDir, recovering previously persisted
+// jobs: terminal jobs return for listing and result serving, interrupted
+// ones go back to the queue (and resume from their checkpoints once a
+// worker picks them up). Call Start to launch the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, errors.New("serve: Config.DataDir is required")
+	}
+	s := &Server{
+		cfg:  cfg,
+		reg:  cfg.Registry,
+		jobs: make(map[string]*Job),
+	}
+	s.qDepth = s.reg.Gauge("serve.queue_depth")
+	s.running = s.reg.Gauge("serve.jobs_running")
+	s.busy = s.reg.Gauge("serve.workers_busy")
+	s.jobSeconds = s.reg.Histogram("serve.job_seconds", obs.DefTimeBuckets)
+	s.reg.Gauge("serve.workers").Set(float64(cfg.Workers))
+
+	requeue, maxSeq, err := s.recoverJobs()
+	if err != nil {
+		return nil, err
+	}
+	s.seq = maxSeq
+	// The queue must hold every recovered job plus the configured depth's
+	// worth of new ones; recovery must never hit its own backpressure.
+	depth := cfg.QueueDepth
+	if len(requeue) > depth {
+		depth = len(requeue)
+	}
+	s.queue = make(chan *Job, depth)
+	for _, j := range requeue {
+		s.queue <- j
+	}
+	s.qDepth.Set(float64(len(s.queue)))
+	s.jobsByState()
+	return s, nil
+}
+
+// Start launches the worker pool. The context bounds every job the pool
+// will ever run: cancelling it (directly or via Shutdown) stops in-flight
+// syntheses at their next generation boundary.
+func (s *Server) Start(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	root, cancel := context.WithCancelCause(ctx)
+	s.cancelRoot = cancel
+	s.mu.Unlock()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(root)
+	}
+}
+
+// ErrDrainTimeout reports a Shutdown that gave up waiting for the workers.
+var ErrDrainTimeout = errors.New("serve: drain deadline exceeded before all workers stopped")
+
+// Shutdown drains the server: submissions are refused from now on,
+// in-flight syntheses are cancelled (they stop at the next generation
+// boundary and write their final checkpoints), and the call waits for the
+// worker pool until ctx expires. Interrupted jobs are left queued on disk
+// for the next server to resume.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	s.draining = true
+	cancel := s.cancelRoot
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel(errors.New("server shutting down"))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer func() { recover() }() // wg misuse must not kill the drain
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ErrDrainTimeout
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) logf(format string, args ...any) { s.cfg.Logf(format, args...) }
+
+// jobsByState recounts the per-state job gauges (cheap: the job table is
+// the unit of scale here, not the request rate).
+func (s *Server) jobsByState() {
+	counts := map[State]int{}
+	for _, j := range s.jobs {
+		counts[j.snapshot().State]++
+	}
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		s.reg.Gauge("serve.jobs_state_" + string(st)).Set(float64(counts[st]))
+	}
+}
+
+// ---- worker pool ----
+
+// worker pulls jobs off the queue until the root context dies. The
+// top-level recover barrier keeps a defect in job bookkeeping from taking
+// the whole process down (the synthesis itself is already panic-isolated
+// inside runJob and runctl.Guard).
+func (s *Server) worker(ctx context.Context) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.logf("serve: worker crashed: %v", p)
+		}
+	}()
+	defer s.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-s.queue:
+			s.qDepth.Set(float64(len(s.queue)))
+			s.runJob(ctx, j)
+		}
+	}
+}
+
+// runJob executes one job end to end: state transitions, per-job obs run,
+// checkpoint resume decision, the synthesis itself behind a recover
+// barrier, outcome classification and persistence.
+func (s *Server) runJob(ctx context.Context, j *Job) {
+	// A job cancelled while queued is already terminal: skip it.
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return
+	}
+	jobCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	j.state = StateRunning
+	j.started = time.Now()
+	j.finished = time.Time{}
+	j.cancel = cancel
+	j.mu.Unlock()
+	s.persist(j)
+	s.running.Add(1)
+	s.busy.Add(1)
+	s.mu.Lock()
+	s.jobsByState()
+	s.mu.Unlock()
+	start := time.Now()
+	defer func() {
+		s.running.Add(-1)
+		s.busy.Add(-1)
+		d := time.Since(start)
+		s.jobSeconds.ObserveDuration(d)
+		s.reg.Gauge("serve.worker_busy_seconds").Add(d.Seconds())
+		s.mu.Lock()
+		s.jobsByState()
+		s.mu.Unlock()
+	}()
+
+	// Per-job instrumentation: a private registry for the progress gauges
+	// and, when configured, a JSONL trace in the job directory.
+	var sink obs.Sink
+	if s.cfg.TraceJobs {
+		f, err := os.Create(filepath.Join(j.dir, traceFile))
+		if err != nil {
+			s.logf("serve: job %s: trace: %v", j.ID, err)
+		} else {
+			sink = obs.NewJSONLSink(f)
+		}
+	}
+	run := obs.NewRun(obs.NewRegistry(), sink)
+	j.mu.Lock()
+	j.obsRun = run
+	j.mu.Unlock()
+
+	sys, res, err := s.synthesize(jobCtx, j, run)
+	if cerr := run.Close(); cerr != nil {
+		s.logf("serve: job %s: trace close: %v", j.ID, cerr)
+	}
+
+	// Classify the outcome.
+	j.mu.Lock()
+	j.cancel = nil
+	cancelled := j.cancelRequested
+	drained := err == nil && res != nil && res.Partial && ctx.Err() != nil && !cancelled
+	switch {
+	case drained:
+		// Server shutdown interrupted the run mid-flight; its closing
+		// checkpoint is on disk. Back to queued so the next server (or a
+		// later worker, if only the context was cancelled) resumes it.
+		j.state = StateQueued
+		j.started = time.Time{}
+		j.err = ""
+	case err != nil:
+		j.state = StateFailed
+		j.err = err.Error()
+		j.finished = time.Now()
+	case cancelled:
+		j.state = StateCancelled
+		j.err = ""
+		j.finished = time.Now()
+	default:
+		j.state = StateDone
+		j.err = ""
+		j.finished = time.Now()
+	}
+	if res != nil {
+		j.sys = sys
+		j.result = res
+	}
+	state := j.state
+	j.mu.Unlock()
+	s.persist(j)
+
+	switch state {
+	case StateDone:
+		s.reg.Counter("serve.jobs_done").Inc()
+	case StateFailed:
+		s.reg.Counter("serve.jobs_failed").Inc()
+		s.logf("serve: job %s failed: %v", j.ID, err)
+	case StateCancelled:
+		s.reg.Counter("serve.jobs_cancelled").Inc()
+	case StateQueued, StateRunning:
+		// drained: neither terminal counter moves.
+	}
+	if state.Terminal() && res != nil {
+		if doc, rerr := renderResult(j, sys, res); rerr == nil {
+			s.persistResult(j, doc)
+		} else {
+			s.logf("serve: job %s: render result: %v", j.ID, rerr)
+		}
+		// A finished job no longer needs its checkpoint.
+		os.Remove(filepath.Join(j.dir, checkpointFile))
+	}
+}
+
+// synthesize parses the job's spec, decides fresh-versus-resume from the
+// job's checkpoint, and runs the synthesis behind a recover barrier. A
+// checkpoint that fails to load or resume degrades gracefully to a fresh
+// run instead of failing the job.
+func (s *Server) synthesize(ctx context.Context, j *Job, run *obs.Run) (*model.System, *synth.Result, error) {
+	sys, err := specio.ReadBytes([]byte(j.Request.Spec))
+	if err != nil {
+		return nil, nil, err
+	}
+	ckpt := filepath.Join(j.dir, checkpointFile)
+	resume := false
+	if cp, lerr := runctl.Load(ckpt); lerr == nil {
+		resume = true
+		j.mu.Lock()
+		j.resumedFrom = cp.Snapshot.Generation
+		j.mu.Unlock()
+		s.reg.Counter("serve.jobs_resumed").Inc()
+	} else if !errors.Is(lerr, os.ErrNotExist) {
+		s.logf("serve: job %s: unusable checkpoint, starting fresh: %v", j.ID, lerr)
+		os.Remove(ckpt)
+	}
+	opts := synth.Options{
+		UseDVS:               j.Request.DVS,
+		NeglectProbabilities: j.Request.NeglectProbabilities,
+		RefineIterations:     j.Request.RefineIterations,
+		StallWindow:          j.Request.StallWindow,
+		GA: ga.Config{
+			PopSize:        j.Request.GA.PopSize,
+			MaxGenerations: j.Request.GA.MaxGenerations,
+			Stagnation:     j.Request.GA.Stagnation,
+		},
+		Seed:            j.Request.Seed,
+		Context:         ctx,
+		CheckpointPath:  ckpt,
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		Resume:          resume,
+		Certify:         j.Request.certify(),
+		Obs:             run,
+	}
+	res, err := safeSynthesize(sys, opts)
+	if err != nil && resume {
+		s.logf("serve: job %s: resume failed (%v), restarting from generation 0", j.ID, err)
+		os.Remove(ckpt)
+		j.mu.Lock()
+		j.resumedFrom = 0
+		j.mu.Unlock()
+		opts.Resume = false
+		res, err = safeSynthesize(sys, opts)
+	}
+	return sys, res, err
+}
+
+// safeSynthesize is the per-job panic barrier: a defect anywhere in the
+// synthesis stack fails this job, never the worker or the server.
+func safeSynthesize(sys *model.System, opts synth.Options) (res *synth.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("synthesis panicked: %v", p)
+		}
+	}()
+	return synth.Synthesize(sys, opts)
+}
+
+// ---- HTTP API ----
+
+// Handler returns the HTTP API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ready\n")
+	})
+	mux.Handle("GET /metrics", s.reg)
+	requests := s.reg.Counter("serve.http_requests")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// specNameRe validates named-spec references before they touch the
+// filesystem.
+var specNameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+// SubmitView is the JSON body answering POST /v1/jobs.
+type SubmitView struct {
+	StatusView
+	// Warnings are the spec reader's semantic lint findings (probability
+	// normalisation, ...); the job runs on the normalised spec.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "request exceeds %d bytes", s.cfg.MaxSpecBytes)
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(bytesReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "request body: %v", err)
+		return
+	}
+	switch {
+	case req.Spec == "" && req.SpecName == "":
+		writeError(w, http.StatusBadRequest, "one of spec or spec_name is required")
+		return
+	case req.Spec != "" && req.SpecName != "":
+		writeError(w, http.StatusBadRequest, "spec and spec_name are mutually exclusive")
+		return
+	}
+	if req.SpecName != "" {
+		if s.cfg.SpecDir == "" {
+			writeError(w, http.StatusBadRequest, "this server has no spec directory; submit an inline spec")
+			return
+		}
+		if !specNameRe.MatchString(req.SpecName) {
+			writeError(w, http.StatusBadRequest, "invalid spec_name %q", req.SpecName)
+			return
+		}
+		data, err := os.ReadFile(filepath.Join(s.cfg.SpecDir, req.SpecName+".spec"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, "unknown spec %q", req.SpecName)
+			return
+		}
+		req.Spec = string(data)
+	}
+	// Reject malformed specs at the door, with the reader's line-numbered
+	// diagnostics, rather than burning a worker on them.
+	sys, warns, err := specio.ReadWarnBytes([]byte(req.Spec))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "spec: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	id := jobID(s.seq + 1)
+	j := &Job{ID: id, Request: req, dir: s.jobDir(id), system: sys.App.Name}
+	j.state = StateQueued
+	j.created = time.Now()
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "job dir: %v", err)
+		return
+	}
+	// Persist the queued manifest before the job becomes visible to a
+	// worker: once it is on the queue a worker may transition it to running
+	// (or even terminal) and persist that, and a stale queued write landing
+	// afterwards would clobber the newer state.
+	s.persist(j)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		os.RemoveAll(j.dir)
+		s.reg.Counter("serve.jobs_rejected").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs waiting); retry later", cap(s.queue))
+		return
+	}
+	s.seq++
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.qDepth.Set(float64(len(s.queue)))
+	s.jobsByState()
+	s.mu.Unlock()
+	s.reg.Counter("serve.jobs_submitted").Inc()
+
+	view := SubmitView{StatusView: j.status(j.system)}
+	for _, wn := range warns {
+		view.Warnings = append(view.Warnings, wn.String())
+	}
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// ListView is the JSON body answering GET /v1/jobs.
+type ListView struct {
+	Jobs   []StatusView `json:"jobs"`
+	Total  int          `json:"total"`
+	Offset int          `json:"offset"`
+	Limit  int          `json:"limit"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	offset, err := queryInt(r, "offset", 0)
+	if err == nil && offset < 0 {
+		err = errors.New("negative")
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "offset: %v", err)
+		return
+	}
+	limit, err := queryInt(r, "limit", 50)
+	if err == nil && (limit <= 0 || limit > 500) {
+		err = errors.New("must be in [1,500]")
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "limit: %v", err)
+		return
+	}
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	page := make([]*Job, 0, limit)
+	for i := offset; i < len(ids) && len(page) < limit; i++ {
+		page = append(page, s.jobs[ids[i]])
+	}
+	s.mu.Unlock()
+	view := ListView{Jobs: make([]StatusView, 0, len(page)), Total: len(ids), Offset: offset, Limit: limit}
+	for _, j := range page {
+		view.Jobs = append(view.Jobs, j.status(j.system))
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// lookup resolves the {id} path segment, writing the 404 itself on a miss.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *Job {
+	id := r.PathValue("id")
+	if !validJobID(id) {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return nil
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(j.system))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	sys, res := j.sys, j.result
+	j.mu.Unlock()
+	if !state.Terminal() {
+		writeError(w, http.StatusConflict, "job %s is %s; no result yet", j.ID, state)
+		return
+	}
+	if sys != nil && res != nil {
+		doc, err := renderResult(j, sys, res)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "render result: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(doc)
+		return
+	}
+	if doc := j.loadResult(); doc != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(doc)
+		return
+	}
+	writeError(w, http.StatusConflict, "job %s is %s and produced no result", j.ID, state)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	state, changed := j.requestCancel(errors.New("cancelled by client"))
+	if !changed {
+		writeError(w, http.StatusConflict, "job %s is already %s", j.ID, state)
+		return
+	}
+	if state == StateCancelled {
+		// Was still queued: terminal on the spot.
+		s.persist(j)
+		s.reg.Counter("serve.jobs_cancelled").Inc()
+		s.mu.Lock()
+		s.jobsByState()
+		s.mu.Unlock()
+	}
+	writeJSON(w, http.StatusAccepted, j.status(j.system))
+}
+
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// manifest is the on-disk record of one job, written atomically on every
+// state transition so a killed server can reconstruct its job table. The
+// resolved spec text is embedded: recovery never needs the spec directory
+// the job was submitted against.
+type manifest struct {
+	ID       string     `json:"id"`
+	Request  JobRequest `json:"request"`
+	System   string     `json:"system,omitempty"`
+	State    State      `json:"state"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  time.Time  `json:"started,omitempty"`
+	Finished time.Time  `json:"finished,omitempty"`
+	// ResumedFrom records the checkpoint generation the last run continued
+	// from, so restart semantics stay observable across restarts.
+	ResumedFrom int `json:"resumed_from,omitempty"`
+}
+
+const (
+	manifestFile   = "manifest.json"
+	checkpointFile = "job.ckpt"
+	resultFile     = "result.json"
+	traceFile      = "trace.jsonl"
+)
+
+// jobDir returns the directory owning the job's artefacts.
+func (s *Server) jobDir(id string) string {
+	return filepath.Join(s.cfg.DataDir, "jobs", id)
+}
+
+// writeFileAtomic writes data to path via a temp file and rename, the same
+// crash discipline runctl uses for checkpoints.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// persist writes the job's manifest. Persistence failures are logged, not
+// fatal: the in-memory job table keeps serving, the job merely loses
+// restart durability.
+func (s *Server) persist(j *Job) {
+	snap := j.snapshot()
+	m := manifest{
+		ID:          j.ID,
+		Request:     j.Request,
+		System:      j.system,
+		State:       snap.State,
+		Error:       snap.Err,
+		Created:     snap.Created,
+		Started:     snap.Started,
+		Finished:    snap.Finished,
+		ResumedFrom: snap.ResumedFrom,
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err == nil {
+		err = writeFileAtomic(filepath.Join(j.dir, manifestFile), data)
+	}
+	if err != nil {
+		s.logf("serve: job %s: persist manifest: %v", j.ID, err)
+	}
+}
+
+// persistResult stores the rendered result document next to the manifest
+// so terminal jobs keep serving their result across restarts.
+func (s *Server) persistResult(j *Job, doc []byte) {
+	if err := writeFileAtomic(filepath.Join(j.dir, resultFile), doc); err != nil {
+		s.logf("serve: job %s: persist result: %v", j.ID, err)
+	}
+}
+
+// loadResult returns the persisted result document, or nil.
+func (j *Job) loadResult() []byte {
+	data, err := os.ReadFile(filepath.Join(j.dir, resultFile))
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// recover scans the data directory and rebuilds the job table: terminal
+// jobs come back for listing and result serving; queued and running jobs
+// are re-queued (running ones were interrupted — they resume from their
+// checkpoint when one exists). It returns the jobs to enqueue, in ID
+// order, and the highest sequence number seen.
+func (s *Server) recoverJobs() (requeue []*Job, maxSeq int, err error) {
+	root := filepath.Join(s.cfg.DataDir, "jobs")
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, 0, fmt.Errorf("serve: data dir: %w", err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: data dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() && validJobID(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dir := filepath.Join(root, name)
+		data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+		if err != nil {
+			s.logf("serve: recovery: %s: no readable manifest, skipping: %v", name, err)
+			continue
+		}
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil || m.ID != name || !m.State.valid() {
+			s.logf("serve: recovery: %s: corrupt manifest, skipping", name)
+			continue
+		}
+		if n, err := strconv.Atoi(name[1:]); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+		j := &Job{ID: m.ID, Request: m.Request, dir: dir, system: m.System}
+		j.created = m.Created
+		j.resumedFrom = m.ResumedFrom
+		j.err = m.Error
+		switch m.State {
+		case StateDone, StateFailed, StateCancelled:
+			j.state = m.State
+			j.started = m.Started
+			j.finished = m.Finished
+		case StateQueued, StateRunning:
+			// An interrupted run: back to the queue. The worker decides
+			// between resume and fresh start when it finds (or fails to
+			// load) the job's checkpoint.
+			j.state = StateQueued
+			s.reg.Counter("serve.jobs_requeued").Inc()
+			requeue = append(requeue, j)
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+	}
+	return requeue, maxSeq, nil
+}

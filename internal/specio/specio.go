@@ -24,6 +24,7 @@ package specio
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -47,10 +48,26 @@ func (w Warning) String() string { return fmt.Sprintf("specio: line %d: warning:
 // Read parses a specification and returns the validated system, discarding
 // lint warnings. Every parse error carries the 1-based input line number;
 // only whole-spec semantic errors (graph cycles, ...) are reported without
-// one.
+// one. It is a thin wrapper over ReadWarn, just as ReadBytes is over
+// ReadWarnBytes for callers holding the specification in memory.
 func Read(r io.Reader) (*model.System, error) {
 	sys, _, err := ReadWarn(r)
 	return sys, err
+}
+
+// ReadBytes parses a specification held in memory (an uploaded request
+// body, an embedded spec, ...), discarding lint warnings. It is equivalent
+// to Read over a reader of data, with no temporary file involved.
+func ReadBytes(data []byte) (*model.System, error) {
+	sys, _, err := ReadWarnBytes(data)
+	return sys, err
+}
+
+// ReadWarnBytes parses a specification held in memory and additionally
+// returns semantic lint warnings, with the same normalisation and
+// rejection rules as ReadWarn.
+func ReadWarnBytes(data []byte) (*model.System, []Warning, error) {
+	return ReadWarn(bytes.NewReader(data))
 }
 
 // ReadWarn parses a specification and additionally returns semantic lint

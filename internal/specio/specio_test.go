@@ -221,6 +221,61 @@ func relDiff(a, b float64) float64 {
 	return d / m
 }
 
+// TestReadBytesMatchesRead pins the in-memory entry points: ReadBytes and
+// ReadWarnBytes must behave exactly like their reader-based counterparts —
+// same system, same warnings, same line-numbered errors — since the server
+// parses uploaded request bodies through them without a temp file.
+func TestReadBytesMatchesRead(t *testing.T) {
+	fromReader, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBytes, err := ReadBytes([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := Write(&a, fromReader); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, fromBytes); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("ReadBytes parsed a different system than Read")
+	}
+
+	// Errors keep their 1-based line numbers through the bytes path.
+	if _, err := ReadBytes([]byte("pe cpu class=gpp\nfrobnicate")); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Errorf("ReadBytes error = %v, want line 2 diagnostic", err)
+	}
+
+	// Warnings survive too (probabilities summing to 0.8 are normalised).
+	warnSpec := []byte(`
+pe cpu class=gpp
+cl bus bw=1MB/s pes=cpu
+type t
+impl t cpu time=1ms power=1mW
+mode a prob=0.4 period=1s
+task a x type=t
+mode b prob=0.4 period=1s
+task b y type=t
+transition a b
+transition b a
+`)
+	sys, warns, err := ReadWarnBytes(warnSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) == 0 {
+		t.Error("ReadWarnBytes dropped the normalisation warning")
+	}
+	if got := sys.App.Modes[0].Prob + sys.App.Modes[1].Prob; math.Abs(got-1) > 1e-12 {
+		t.Errorf("probabilities not normalised: sum %v", got)
+	}
+}
+
 func TestReadErrors(t *testing.T) {
 	cases := []struct {
 		name, spec string

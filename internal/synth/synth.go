@@ -206,6 +206,14 @@ func (p *problem) counters() runctl.CacheCounters {
 // With Options.Context the run is cancellable; with Options.CheckpointPath
 // it is resumable; panicking evaluations are contained and reported in
 // Result.Faults. See docs/RUNCTL.md.
+//
+// Synthesize is safe for concurrent use: every run owns its RNG, evaluator,
+// fitness cache and engine state, and the synth, ga and dvs packages hold
+// no mutable package-level state. Concurrent runs with the same seed and
+// specification produce bit-identical results, which is what lets mmserved
+// execute jobs on a worker pool and mmbench evaluate table rows in
+// parallel without perturbing published numbers. Runs sharing a checkpoint
+// path or an obs.Run are the one exception — give each run its own.
 func Synthesize(sys *model.System, opts Options) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err

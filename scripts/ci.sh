@@ -35,6 +35,11 @@ go test -run='^$' -fuzz=FuzzCheckpoint -fuzztime=5s -fuzzminimizetime=5s ./inter
 echo "==> trace smoke (mmsynth -trace/-metrics through mmtrace)"
 ./scripts/trace_smoke.sh
 
+# Job-service smoke: boot mmserved, one job over HTTP to a certified
+# result, clean SIGTERM drain (exit 0).
+echo "==> serve smoke (mmserved job service)"
+./scripts/serve_smoke.sh
+
 # Certification sweep: every benchmark spec through `mmsynth -certify` at
 # a small GA budget, plus a fault-injection negative control (exit 4).
 echo "==> certify (specs/ through mmsynth -certify)"

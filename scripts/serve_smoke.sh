@@ -1,0 +1,66 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the mmserved job service: boot
+# the daemon on a free port, submit one synthesis job over HTTP, poll it to
+# certified completion, then SIGTERM the server and require a clean exit 0.
+# A regression in the HTTP API, the worker pool or the drain path fails CI
+# here even if no unit test covers it. See docs/SERVER.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+echo "==> build mmserved"
+go build -o "$workdir" ./cmd/mmserved
+
+echo "==> boot mmserved (specs/ as the named-spec directory)"
+"$workdir/mmserved" -addr 127.0.0.1:0 -data "$workdir/data" -specs specs \
+    -workers 2 > "$workdir/stdout" 2> "$workdir/stderr" &
+served_pid=$!
+# The first stdout line announces the resolved listen address.
+for _ in $(seq 50); do
+    base=$(sed -n 's/^mmserved listening on //p' "$workdir/stdout")
+    [ -n "$base" ] && break
+    kill -0 "$served_pid" 2>/dev/null || { cat "$workdir/stderr"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "mmserved never announced its address"; cat "$workdir/stderr"; exit 1; }
+echo "    $base"
+
+echo "==> submit one job (named spec mul1, small GA budget)"
+job=$(curl -sfS -X POST "$base/v1/jobs" \
+    -d '{"spec_name":"mul1","dvs":true,"seed":1,"ga":{"pop_size":16,"max_generations":40,"stagnation":15}}')
+id=$(printf '%s' "$job" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "submission returned no job id: $job"; exit 1; }
+echo "    job $id accepted"
+
+echo "==> poll to completion"
+state=queued
+for _ in $(seq 600); do
+    state=$(curl -sfS "$base/v1/jobs/$id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    case "$state" in
+        done) break ;;
+        failed|cancelled) echo "job ended $state"; curl -sfS "$base/v1/jobs/$id"; exit 1 ;;
+    esac
+    sleep 0.1
+done
+[ "$state" = done ] || { echo "job stuck in state $state"; exit 1; }
+
+echo "==> fetch certified result"
+result=$(curl -sfS "$base/v1/jobs/$id/result")
+printf '%s' "$result" | grep -q '"certified": true' || {
+    echo "result is not certified:"; printf '%s\n' "$result"; exit 1; }
+printf '%s' "$result" | grep -q '"feasible": true' || {
+    echo "result is not feasible:"; printf '%s\n' "$result"; exit 1; }
+
+echo "==> metrics account for the job"
+curl -sfS "$base/metrics" | grep -q '"serve.jobs_done": 1'
+
+echo "==> SIGTERM drains cleanly (exit 0)"
+kill -TERM "$served_pid"
+if wait "$served_pid"; then :; else
+    echo "mmserved exited non-zero after SIGTERM"; cat "$workdir/stderr"; exit 1
+fi
+
+echo "==> serve smoke OK"

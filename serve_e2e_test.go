@@ -1,0 +1,208 @@
+// End-to-end test of the mmserved process: boot the real binary on a free
+// port, drive the HTTP job API, and verify that SIGTERM drains the server
+// cleanly with exit status 0. Run with -short to skip.
+package momosyn_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServed boots mmserved on a kernel-assigned port and returns the
+// running process plus the base URL scraped from its stdout announcement.
+func startServed(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, "mmserved"),
+		"-addr", "127.0.0.1:0", "-data", dataDir, "-workers", "2", "-drain", "30s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		if t.Failed() {
+			t.Logf("mmserved stderr:\n%s", stderr.String())
+		}
+	})
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("mmserved announced nothing: %v\nstderr: %s", err, stderr.String())
+	}
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected announcement %q", line)
+	}
+	return cmd, strings.TrimSpace(line[i+len(marker):])
+}
+
+func TestServedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mmserved end-to-end test skipped in -short mode")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+
+	// A small specification the server can synthesise in well under a
+	// second.
+	spec := filepath.Join(work, "inst.spec")
+	run(t, bin, "mmgen", "-seed", "5", "-o", spec)
+	specText, err := os.ReadFile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dataDir := filepath.Join(work, "data")
+	cmd, base := startServed(t, bin, dataDir)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Liveness first: the announcement races ahead of the listener only if
+	// something is broken, but check rather than assume.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	// Submit one quick job and poll it to certified completion.
+	body, _ := json.Marshal(map[string]any{
+		"spec": string(specText),
+		"seed": 1,
+		"ga":   map[string]int{"pop_size": 16, "max_generations": 40, "stagnation": 15},
+	})
+	resp, err = client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d err %v", resp.StatusCode, err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	state := sub.State
+	for state != "done" && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		resp, err := client.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "failed" {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		state = st.State
+	}
+	if state != "done" {
+		t.Fatalf("job stuck in state %q", state)
+	}
+	resp, err = client.Get(base + "/v1/jobs/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Feasible      bool `json:"feasible"`
+		Certification *struct {
+			Certified bool `json:"certified"`
+		} `json:"certification"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d err %v", resp.StatusCode, err)
+	}
+	if !res.Feasible || res.Certification == nil || !res.Certification.Certified {
+		t.Fatalf("result not certified feasible: %+v", res)
+	}
+
+	// Start a long-running job so the drain has something to interrupt,
+	// then SIGTERM the server: it must exit 0 within the drain window.
+	body, _ = json.Marshal(map[string]any{
+		"spec": string(specText),
+		"seed": 2,
+		"ga":   map[string]int{"pop_size": 48, "max_generations": 1000000, "stagnation": 1000000},
+	})
+	resp, err = client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit long job: status %d", resp.StatusCode)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("mmserved exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("mmserved did not exit within 60s of SIGTERM")
+	}
+
+	// The interrupted job's state on disk must be resumable (queued), with
+	// a checkpoint next to it.
+	manifests, _ := filepath.Glob(filepath.Join(dataDir, "jobs", "*", "manifest.json"))
+	if len(manifests) != 2 {
+		t.Fatalf("found %d manifests, want 2", len(manifests))
+	}
+	states := map[string]int{}
+	for _, m := range manifests {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var man struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(data, &man); err != nil {
+			t.Fatal(err)
+		}
+		states[man.State]++
+	}
+	if states["done"] != 1 || states["queued"] != 1 {
+		t.Fatalf("persisted states %v, want one done and one queued", states)
+	}
+	if ckpts, _ := filepath.Glob(filepath.Join(dataDir, "jobs", "*", "job.ckpt")); len(ckpts) != 1 {
+		t.Fatalf("found %d checkpoints, want 1 (the interrupted job's)", len(ckpts))
+	}
+}
