@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz-smoke trace-smoke serve-smoke certify bench ci
+.PHONY: all build test race vet lint fuzz-smoke trace-smoke serve-smoke fleet-smoke certify bench ci
 
 all: build
 
@@ -41,6 +41,12 @@ trace-smoke:
 # See docs/SERVER.md.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Fleet chaos smoke: two mmserved nodes on a shared fleet directory, four
+# jobs, kill -9 one node mid-run; the survivor must finish every job
+# exactly once with certified results. See docs/FLEET.md.
+fleet-smoke:
+	./scripts/fleet_chaos_smoke.sh
 
 # Oracle-check the whole benchmark suite: every spec through
 # `mmsynth -certify` at a small GA budget, plus a fault-injection negative

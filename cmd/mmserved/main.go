@@ -6,6 +6,13 @@
 //
 //	mmserved -data /var/lib/mmserved
 //	mmserved -data ./run -addr 127.0.0.1:8080 -workers 4 -specs ./specs
+//	mmserved -fleet-dir /shared/fleet -node-id nodeA   # one node of a fleet
+//
+// With -fleet-dir any number of mmserved processes pointed at the same
+// directory form a fault-tolerant fleet: jobs are claimed through
+// epoch-numbered lease files, renewed by heartbeats, and recovered (from
+// their last checkpoint) by surviving nodes when a holder dies, hangs or
+// is partitioned. See docs/FLEET.md.
 //
 // Jobs checkpoint their engine state into the data directory; a restarted
 // server lists finished jobs, re-queues interrupted ones and resumes them
@@ -42,17 +49,28 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 5, "generations between per-job checkpoints")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for in-flight jobs")
 		traceJobs = flag.Bool("trace-jobs", false, "write a JSONL run-trace per job into its data directory")
+		fleetDir  = flag.String("fleet-dir", "", "shared fleet directory; set on every node to run a multi-node fleet (see docs/FLEET.md)")
+		nodeID    = flag.String("node-id", "", "this node's fleet-wide unique ID (default <hostname>-<pid>)")
+		leaseTTL  = flag.Duration("lease-ttl", 5*time.Second, "fleet job lease time-to-live; a node silent this long loses its jobs")
+		heartbeat = flag.Duration("heartbeat", 0, "fleet lease renewal and scan interval (default lease-ttl/3)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "mmserved: ", log.LstdFlags)
 	if flag.NArg() > 0 {
 		fatalUsage(fmt.Errorf("unexpected arguments %v", flag.Args()))
 	}
-	if *dataDir == "" {
-		fatalUsage(errors.New("-data is required"))
+	if *dataDir == "" && *fleetDir == "" {
+		fatalUsage(errors.New("-data is required (or -fleet-dir for fleet mode)"))
 	}
 	if *workers <= 0 || *queue <= 0 || *ckptEvery <= 0 {
 		fatalUsage(errors.New("-workers, -queue and -checkpoint-every must be positive"))
+	}
+	if *fleetDir != "" && *nodeID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "node"
+		}
+		*nodeID = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -64,6 +82,10 @@ func main() {
 		TraceJobs:       *traceJobs,
 		Registry:        obs.NewRegistry(),
 		Logf:            logger.Printf,
+		FleetDir:        *fleetDir,
+		NodeID:          *nodeID,
+		LeaseTTL:        *leaseTTL,
+		Heartbeat:       *heartbeat,
 	})
 	if err != nil {
 		logger.Print(err)

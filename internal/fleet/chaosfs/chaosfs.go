@@ -1,0 +1,410 @@
+// Package chaosfs is an injectable filesystem fault layer for crash and
+// corruption testing. It wraps any filesystem implementing the fleet FS
+// method set and injects the classic durability failure modes into chosen
+// operations: torn writes (a prefix lands, the call errors), silent short
+// writes, ENOSPC, EIO, rename failures, and crash points that freeze the
+// filesystem mid-sequence the way SIGKILL freezes a process. Tests thread
+// it under the fleet store and the manifest/checkpoint writers to prove
+// that every recovery path actually recovers.
+//
+// Faults are described by Rules: an operation class, an optional path
+// regexp, a countdown selecting the Nth matching call, and the fault kind.
+// The package also journals every operation it sees, so tests can assert
+// ordering properties (e.g. "the parent directory is fsynced after the
+// rename").
+package chaosfs
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sync"
+	"syscall"
+)
+
+// Inner is the filesystem chaosfs wraps — structurally identical to
+// fleet.FS (declared locally so chaosfs depends on no other package and
+// can also sit under the runctl checkpoint writer).
+type Inner interface {
+	MkdirAll(path string) error
+	Mkdir(path string) error
+	ReadFile(path string) ([]byte, error)
+	ReadDir(path string) ([]string, error)
+	WriteFile(path string, data []byte) error
+	CreateExclusive(path string, data []byte) error
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	SyncDir(path string) error
+}
+
+// Op classifies filesystem operations for fault matching.
+type Op string
+
+// The operation classes.
+const (
+	OpWrite   Op = "write"   // WriteFile
+	OpCreate  Op = "create"  // CreateExclusive
+	OpRead    Op = "read"    // ReadFile
+	OpReadDir Op = "readdir" // ReadDir
+	OpRename  Op = "rename"  // Rename (path = destination)
+	OpRemove  Op = "remove"  // Remove
+	OpMkdir   Op = "mkdir"   // Mkdir and MkdirAll
+	OpSyncDir Op = "syncdir" // SyncDir
+	// OpAny matches every operation.
+	OpAny Op = ""
+)
+
+// Kind is what an injected fault does.
+type Kind int
+
+// The fault kinds.
+const (
+	// KindErr fails the operation with Rule.Err (default EIO) after
+	// KeepBytes of the payload have landed (default none). With
+	// Err == syscall.ENOSPC this is the disk-full fault.
+	KindErr Kind = iota
+	// KindTorn writes a prefix of the payload (default half) and then
+	// fails the call — the on-disk file is torn.
+	KindTorn
+	// KindShort silently writes only a prefix of the payload (default
+	// half) and reports success — the lost tail is only discoverable by
+	// reading back.
+	KindShort
+	// KindCrash freezes the filesystem: a prefix (default none) lands,
+	// the call and every subsequent operation fail with ErrCrashed,
+	// simulating a process killed at exactly this write.
+	KindCrash
+)
+
+// ErrCrashed is returned by every operation after a KindCrash rule fires.
+var ErrCrashed = errors.New("chaosfs: simulated crash (process is dead)")
+
+// Rule selects an operation to sabotage.
+type Rule struct {
+	// Op restricts the rule to one operation class (OpAny: all).
+	Op Op
+	// Path, when non-nil, restricts the rule to matching paths.
+	Path *regexp.Regexp
+	// Countdown fires the rule on the Nth matching call (1 or 0 = first).
+	Countdown int
+	// Repeat keeps the rule firing on every later match as well.
+	Repeat bool
+	// Kind is the fault behaviour.
+	Kind Kind
+	// Err overrides the error returned by KindErr/KindTorn (default EIO).
+	Err error
+	// KeepBytes is how much of a write payload lands before the fault:
+	// -1 means half, 0 means the kind's default (none for KindErr and
+	// KindCrash, half for KindTorn and KindShort).
+	KeepBytes int
+}
+
+func (r *Rule) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return fmt.Errorf("chaosfs: injected %w", syscall.EIO)
+}
+
+func (r *Rule) keep(n int) int {
+	k := r.KeepBytes
+	if k == 0 && (r.Kind == KindTorn || r.Kind == KindShort) {
+		k = -1
+	}
+	if k == -1 {
+		k = n / 2
+	}
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// Record is one journaled operation.
+type Record struct {
+	Op   Op
+	Path string
+	// Faulted reports that a rule fired on this call.
+	Faulted bool
+}
+
+// FS is the fault-injecting filesystem. The zero value is not usable; use
+// New.
+type FS struct {
+	inner Inner
+
+	mu      sync.Mutex
+	rules   []*Rule
+	crashed bool
+	journal []Record
+}
+
+// New wraps inner with an initially fault-free chaos layer.
+func New(inner Inner) *FS { return &FS{inner: inner} }
+
+// Inject adds a fault rule.
+func (f *FS) Inject(r Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rc := r
+	if rc.Countdown <= 0 {
+		rc.Countdown = 1
+	}
+	f.rules = append(f.rules, &rc)
+}
+
+// Reset clears rules, the crash flag and the journal.
+func (f *FS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules, f.crashed, f.journal = nil, false, nil
+}
+
+// Revive clears only the crash flag, simulating the process restarting on
+// the same disk state.
+func (f *FS) Revive() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+}
+
+// Crashed reports whether a KindCrash rule has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Journal returns a copy of the operations seen so far.
+func (f *FS) Journal() []Record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Record(nil), f.journal...)
+}
+
+// Ops counts journaled operations of one class on paths matching re (nil
+// matches all).
+func (f *FS) Ops(op Op, re *regexp.Regexp) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, rec := range f.journal {
+		if (op == OpAny || rec.Op == op) && (re == nil || re.MatchString(rec.Path)) {
+			n++
+		}
+	}
+	return n
+}
+
+// begin journals the operation and resolves whether a rule fires on it.
+// It returns ErrCrashed once the filesystem is frozen.
+func (f *FS) begin(op Op, path string) (*Rule, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	var fired *Rule
+	for _, r := range f.rules {
+		if r.Countdown == 0 && !r.Repeat {
+			continue
+		}
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		if r.Path != nil && !r.Path.MatchString(path) {
+			continue
+		}
+		if r.Countdown > 0 {
+			r.Countdown--
+		}
+		if r.Countdown == 0 {
+			fired = r
+			if fired.Kind == KindCrash {
+				f.crashed = true
+			}
+			break
+		}
+	}
+	f.journal = append(f.journal, Record{Op: op, Path: path, Faulted: fired != nil})
+	return fired, nil
+}
+
+// MkdirAll implements the FS surface.
+func (f *FS) MkdirAll(path string) error {
+	r, err := f.begin(OpMkdir, path)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		if r.Kind == KindCrash {
+			return ErrCrashed
+		}
+		return r.err()
+	}
+	return f.inner.MkdirAll(path)
+}
+
+// Mkdir implements the FS surface.
+func (f *FS) Mkdir(path string) error {
+	r, err := f.begin(OpMkdir, path)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		if r.Kind == KindCrash {
+			return ErrCrashed
+		}
+		return r.err()
+	}
+	return f.inner.Mkdir(path)
+}
+
+// ReadFile implements the FS surface. KindTorn/KindShort deliver a
+// truncated read.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	r, err := f.begin(OpRead, path)
+	if err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return f.inner.ReadFile(path)
+	}
+	switch r.Kind {
+	case KindTorn, KindShort:
+		data, err := f.inner.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return data[:r.keep(len(data))], nil
+	case KindCrash:
+		return nil, ErrCrashed
+	case KindErr:
+		return nil, r.err()
+	default:
+		return nil, r.err()
+	}
+}
+
+// ReadDir implements the FS surface.
+func (f *FS) ReadDir(path string) ([]string, error) {
+	r, err := f.begin(OpReadDir, path)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		if r.Kind == KindCrash {
+			return nil, ErrCrashed
+		}
+		return nil, r.err()
+	}
+	return f.inner.ReadDir(path)
+}
+
+// WriteFile implements the FS surface.
+func (f *FS) WriteFile(path string, data []byte) error {
+	r, err := f.begin(OpWrite, path)
+	if err != nil {
+		return err
+	}
+	if r == nil {
+		return f.inner.WriteFile(path, data)
+	}
+	return f.faultWrite(r, path, data)
+}
+
+// CreateExclusive implements the FS surface.
+func (f *FS) CreateExclusive(path string, data []byte) error {
+	r, err := f.begin(OpCreate, path)
+	if err != nil {
+		return err
+	}
+	if r == nil {
+		return f.inner.CreateExclusive(path, data)
+	}
+	// The exclusivity check must stay real even under fault: create the
+	// file first (partial payload), so EEXIST semantics are preserved.
+	if cerr := f.inner.CreateExclusive(path, data[:r.keep(len(data))]); cerr != nil {
+		return cerr
+	}
+	switch r.Kind {
+	case KindShort:
+		return nil
+	case KindCrash:
+		return ErrCrashed
+	case KindErr, KindTorn:
+		return r.err()
+	default:
+		return r.err()
+	}
+}
+
+// faultWrite applies a write-class fault: a prefix lands, then the kind
+// decides the reported outcome.
+func (f *FS) faultWrite(r *Rule, path string, data []byte) error {
+	keep := r.keep(len(data))
+	if keep > 0 || r.Kind == KindShort {
+		if err := f.inner.WriteFile(path, data[:keep]); err != nil {
+			return err
+		}
+	}
+	switch r.Kind {
+	case KindShort:
+		return nil
+	case KindCrash:
+		return ErrCrashed
+	case KindErr, KindTorn:
+		return r.err()
+	default:
+		return r.err()
+	}
+}
+
+// Rename implements the FS surface. A faulted rename leaves the source in
+// place.
+func (f *FS) Rename(oldPath, newPath string) error {
+	r, err := f.begin(OpRename, newPath)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		if r.Kind == KindCrash {
+			return ErrCrashed
+		}
+		return r.err()
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+// Remove implements the FS surface.
+func (f *FS) Remove(path string) error {
+	r, err := f.begin(OpRemove, path)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		if r.Kind == KindCrash {
+			return ErrCrashed
+		}
+		return r.err()
+	}
+	return f.inner.Remove(path)
+}
+
+// SyncDir implements the FS surface.
+func (f *FS) SyncDir(path string) error {
+	r, err := f.begin(OpSyncDir, path)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		if r.Kind == KindCrash {
+			return ErrCrashed
+		}
+		return r.err()
+	}
+	return f.inner.SyncDir(path)
+}

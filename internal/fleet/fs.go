@@ -1,0 +1,163 @@
+// Package fleet is the shared-filesystem work-distribution layer behind
+// multi-node mmserved: any number of nodes observe the same fleet
+// directory, claim jobs by atomically creating epoch-numbered lease files,
+// renew their claims with heartbeats, and recover jobs whose holder died,
+// hung or was partitioned by claiming the next epoch once the lease
+// deadline passes.
+//
+// Safety rests on two primitives:
+//
+//   - Claims are O_CREATE|O_EXCL creations of epoch-named lease files
+//     (lease.e<epoch>), so for any given epoch number exactly one node in
+//     the fleet can ever win the claim, no matter how many race for it.
+//   - Every piece of job state a lease holder writes (manifest, checkpoint,
+//     result) carries its lease epoch in the file name. A resurrected
+//     stale node can only ever write files named with its old epoch, which
+//     are shadowed by the reclaimed epoch's files and ignored by every
+//     reader — a stale node can never clobber a reclaimed job's state.
+//
+// The protocol, its failure matrix and the operational runbook are
+// documented in docs/FLEET.md.
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// FS is the filesystem surface the fleet store runs on. Production uses
+// OSFS; tests thread chaosfs.FS underneath to inject torn writes, short
+// writes, ENOSPC, EIO, rename failures and crash points into every
+// durability path.
+type FS interface {
+	// MkdirAll creates a directory and its parents (nil if present).
+	MkdirAll(path string) error
+	// Mkdir creates one directory, failing if it already exists; it is the
+	// atomic-exclusive primitive behind fleet-wide job-ID allocation.
+	Mkdir(path string) error
+	// ReadFile returns the file's contents.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir returns the names of the directory's entries.
+	ReadDir(path string) ([]string, error)
+	// WriteFile writes data to a (possibly new) file and syncs it. It is
+	// NOT atomic: callers wanting crash-atomicity write a temp name and
+	// Rename.
+	WriteFile(path string, data []byte) error
+	// CreateExclusive atomically creates the file with O_CREATE|O_EXCL,
+	// writes data and syncs. It fails with a fs.ErrExist-wrapped error when
+	// the path already exists; exactly one concurrent caller can win.
+	CreateExclusive(path string, data []byte) error
+	// Rename atomically moves oldPath over newPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes the file.
+	Remove(path string) error
+	// SyncDir fsyncs a directory, making preceding creations, renames and
+	// removals in it durable.
+	SyncDir(path string) error
+}
+
+// OSFS is the real-filesystem implementation of FS.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// Mkdir implements FS.
+func (OSFS) Mkdir(path string) error { return os.Mkdir(path, 0o755) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(path string) ([]string, error) {
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+// WriteFile implements FS: write then fsync, so the data (though not
+// necessarily the directory entry) is durable on return.
+func (OSFS) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CreateExclusive implements FS.
+func (OSFS) CreateExclusive(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// tmpSeq distinguishes concurrent temp files within one process; the node
+// ID in the name separates processes sharing the fleet directory.
+var tmpSeq atomic.Uint64
+
+// WriteFileAtomic writes data to path with full crash-atomicity on fsys: a
+// synced temp file in the destination directory is renamed over path and
+// the directory itself is then fsynced, so after a crash the path holds
+// either the old bytes or the new bytes, never a torn mix, and the rename
+// itself cannot be lost to an unsynced directory.
+func WriteFileAtomic(fsys FS, path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp := filepath.Join(dir, fmt.Sprintf(".%s.tmp%d.%d", filepath.Base(path), os.Getpid(), tmpSeq.Add(1)))
+	if err := fsys.WriteFile(tmp, data); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

@@ -101,6 +101,8 @@ func TestPackageGates(t *testing.T) {
 		{Ctxflow, "momosyn/internal/synth", true},
 		{Ctxflow, "momosyn/internal/obs", true},
 		{Ctxflow, "momosyn/internal/serve", true},
+		{Ctxflow, "momosyn/internal/fleet", true},
+		{Ctxflow, "momosyn/internal/fleet/chaosfs", true},
 		{Ctxflow, "momosyn/internal/gantt", false}, // "ga" must not match a prefix
 		{Ctxflow, "momosyn/internal/bench", false},
 		{Floateq, "momosyn/internal/energy", true},
@@ -111,6 +113,7 @@ func TestPackageGates(t *testing.T) {
 		{Guardgo, "momosyn/internal/bench", true},
 		{Guardgo, "momosyn/internal/obs", true},
 		{Guardgo, "momosyn/internal/serve", true},
+		{Guardgo, "momosyn/internal/fleet", true},
 		{Guardgo, "momosyn/internal/runctl", false},
 		{Guardgo, "momosyn/cmd/mmsynth", false},
 		{Guardgo, "momosyn/cmd/mmserved", false},

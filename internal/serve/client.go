@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is a robust HTTP client for the job API: every request runs under
+// its own timeout, and transient failures — connection errors, 429
+// backpressure, 503 drain — are retried with capped exponential backoff
+// and full jitter, honouring the server's Retry-After hint when one is
+// given. It replaces fixed-sleep polling in scripts and tests.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient issues the requests (default http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per request, first attempt included
+	// (default 8).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps each backoff step and any Retry-After hint
+	// (default 5s).
+	MaxDelay time.Duration
+	// RequestTimeout bounds each attempt (default 30s).
+	RequestTimeout time.Duration
+	// Logf receives retry diagnostics (default: discard).
+	Logf func(format string, args ...any)
+
+	mu sync.Mutex
+	// lastRetryAfter is the most recent Retry-After hint, consumed by the
+	// next backoff computation.
+	lastRetryAfter time.Duration
+	rng            *rand.Rand
+}
+
+// StatusError is a non-2xx API answer that was not retried away.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 8
+}
+
+func (c *Client) baseDelay() time.Duration {
+	if c.BaseDelay > 0 {
+		return c.BaseDelay
+	}
+	return 50 * time.Millisecond
+}
+
+func (c *Client) maxDelay() time.Duration {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return 5 * time.Second
+}
+
+func (c *Client) requestTimeout() time.Duration {
+	if c.RequestTimeout > 0 {
+		return c.RequestTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// jitter returns a uniformly random duration in [0, d].
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(c.rng.Int63n(int64(d) + 1))
+}
+
+// backoff computes the sleep before attempt (0-based) attempt+1: full
+// jitter over an exponentially growing, capped window — or the server's
+// Retry-After hint, also capped, when one was provided.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		if retryAfter > c.maxDelay() {
+			retryAfter = c.maxDelay()
+		}
+		return retryAfter
+	}
+	window := c.baseDelay() << uint(attempt)
+	if window > c.maxDelay() || window <= 0 {
+		window = c.maxDelay()
+	}
+	return c.jitter(window)
+}
+
+// retryAfter parses a Retry-After header in seconds form (0 when absent or
+// unusable; the HTTP-date form is not worth supporting for this API).
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryable classifies an attempt outcome: connection-level errors and the
+// two explicitly transient statuses (429 backpressure, 503 drain) retry;
+// everything else is the caller's answer.
+func retryable(resp *http.Response, err error) bool {
+	if err != nil {
+		// Do not retry context cancellation: the caller gave up.
+		return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	}
+	return resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable
+}
+
+// do runs one API request with retries. A nil error means a 2xx answer;
+// the returned bytes are the response body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			delay := c.backoff(attempt-1, c.getRetryAfter())
+			c.logf("serve: client: %s %s attempt %d failed (%v); retrying in %v", method, path, attempt, lastErr, delay)
+			select {
+			case <-ctx.Done():
+				return nil, context.Cause(ctx)
+			case <-time.After(delay):
+			}
+		}
+		data, err := c.attempt(ctx, method, path, body)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		var se *StatusError
+		if errors.As(err, &se) && se.Code != http.StatusTooManyRequests && se.Code != http.StatusServiceUnavailable {
+			return nil, err // a real answer, not a transient condition
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("serve: client: %s %s: giving up after %d attempts: %w", method, path, c.maxAttempts(), lastErr)
+}
+
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.requestTimeout())
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		c.setRetryAfter(0)
+		if !retryable(nil, err) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("serve: client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		c.setRetryAfter(0)
+		return nil, fmt.Errorf("serve: client: read response: %w", err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		c.setRetryAfter(0)
+		return data, nil
+	}
+	c.setRetryAfter(retryAfter(resp))
+	return nil, &StatusError{Code: resp.StatusCode, Body: string(data)}
+}
+
+func (c *Client) setRetryAfter(d time.Duration) {
+	c.mu.Lock()
+	c.lastRetryAfter = d
+	c.mu.Unlock()
+}
+
+func (c *Client) getRetryAfter() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastRetryAfter
+}
+
+// Submit posts a job and returns the accepted view.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (*SubmitView, error) {
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	data, err := c.do(ctx, http.MethodPost, "/v1/jobs", body)
+	if err != nil {
+		return nil, err
+	}
+	var view SubmitView
+	if err := json.Unmarshal(data, &view); err != nil {
+		return nil, fmt.Errorf("serve: client: submit response: %w", err)
+	}
+	return &view, nil
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (*StatusView, error) {
+	data, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var view StatusView
+	if err := json.Unmarshal(data, &view); err != nil {
+		return nil, fmt.Errorf("serve: client: status response: %w", err)
+	}
+	return &view, nil
+}
+
+// Result fetches a terminal job's result document.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) (*StatusView, error) {
+	data, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var view StatusView
+	if err := json.Unmarshal(data, &view); err != nil {
+		return nil, fmt.Errorf("serve: client: cancel response: %w", err)
+	}
+	return &view, nil
+}
+
+// WaitTerminal polls the job until it reaches a terminal state (poll
+// interval default 100ms) or ctx expires.
+func (c *Client) WaitTerminal(ctx context.Context, id string, poll time.Duration) (*StatusView, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		view, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if view.State.Terminal() {
+			return view, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("serve: client: job %s still %s: %w", id, view.State, context.Cause(ctx))
+		case <-time.After(poll):
+		}
+	}
+}

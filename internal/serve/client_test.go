@@ -1,0 +1,163 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"momosyn/internal/serve"
+)
+
+func testClient(url string) *serve.Client {
+	return &serve.Client{
+		BaseURL:   url,
+		BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+		RequestTimeout: 5 * time.Second,
+	}
+}
+
+// TestClientRetriesBackpressure pins the transient-status behaviour: 429
+// (with Retry-After) and 503 answers are retried until the server relents.
+func TestClientRetriesBackpressure(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+		case 2:
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"id":"j000001","state":"queued"}`)
+		}
+	}))
+	defer ts.Close()
+
+	view, err := testClient(ts.URL).Submit(context.Background(), serve.JobRequest{Spec: "x"})
+	if err != nil {
+		t.Fatalf("Submit through backpressure: %v", err)
+	}
+	if view.ID != "j000001" {
+		t.Fatalf("view = %+v", view)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (429, 503, 200)", got)
+	}
+}
+
+// TestClientDoesNotRetryRealAnswers pins that non-transient statuses are
+// the caller's answer, not something to hammer the server over.
+func TestClientDoesNotRetryRealAnswers(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	_, err := testClient(ts.URL).Status(context.Background(), "j000009")
+	var se *serve.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("error = %v, want StatusError 404", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a 404, want 1", got)
+	}
+}
+
+// TestClientGivesUpAfterMaxAttempts bounds the retry loop on a server
+// that never stops shedding load.
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL)
+	c.MaxAttempts = 3
+	_, err := c.Submit(context.Background(), serve.JobRequest{Spec: "x"})
+	if err == nil {
+		t.Fatal("Submit against permanent 429 succeeded")
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want MaxAttempts=3", got)
+	}
+}
+
+// TestClientRetriesConnectionErrors points the client at a dead address:
+// every attempt is a connection error, retried up to the bound.
+func TestClientRetriesConnectionErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // nothing listens here any more
+
+	c := testClient(url)
+	c.MaxAttempts = 2
+	start := time.Now()
+	if _, err := c.Status(context.Background(), "j000001"); err == nil {
+		t.Fatal("Status against a dead server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dead-server retries took %v, want fast capped backoff", elapsed)
+	}
+}
+
+// TestClientHonoursContext cancels mid-backoff: the client must stop
+// retrying immediately instead of sleeping out its schedule.
+func TestClientHonoursContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL)
+	c.MaxDelay = 10 * time.Second
+	c.BaseDelay = 10 * time.Second
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Submit(ctx, serve.JobRequest{Spec: "x"})
+	if err == nil {
+		t.Fatal("cancelled Submit succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+}
+
+// TestClientWaitTerminal polls through the lifecycle to a terminal state.
+func TestClientWaitTerminal(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		state := "running"
+		if hits.Add(1) >= 3 {
+			state = "done"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"id": "j000001", "state": state})
+	}))
+	defer ts.Close()
+
+	v, err := testClient(ts.URL).WaitTerminal(context.Background(), "j000001", time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitTerminal: %v", err)
+	}
+	if v.State != serve.StateDone {
+		t.Fatalf("terminal state = %s, want done", v.State)
+	}
+	if hits.Load() < 3 {
+		t.Fatalf("WaitTerminal returned after %d polls, want >= 3", hits.Load())
+	}
+}

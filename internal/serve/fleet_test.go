@@ -1,0 +1,356 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"momosyn/internal/fleet"
+	"momosyn/internal/obs"
+	"momosyn/internal/serve"
+)
+
+// fleetServer builds and starts one node of a fleet over dir.
+func fleetServer(t *testing.T, dir, node string, cfg serve.Config) (*serve.Server, *api) {
+	t.Helper()
+	cfg.FleetDir = dir
+	cfg.NodeID = node
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 2 * time.Second
+	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = 50 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+	// Drain before t.TempDir cleanup removes the shared directory out from
+	// under a still-running node.
+	t.Cleanup(func() {
+		cancel()
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		_ = s.Shutdown(sctx)
+	})
+	return s, newAPI(t, s)
+}
+
+// bareStore opens a raw fleet store on dir, impersonating a node outside
+// any server (a dead or stale worker in the scenarios below).
+func bareStore(t *testing.T, dir, node string, ttl time.Duration, now func() time.Time) *fleet.Store {
+	t.Helper()
+	st, err := fleet.Open(fleet.Config{
+		Dir: dir, Node: node, TTL: ttl,
+		Registry: obs.NewRegistry(), Now: now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestFleetTwoNodesCompleteJobs runs two nodes over one shared directory:
+// jobs submitted to one node are visible on — and may be executed by —
+// either, and every result is retrievable from both.
+func TestFleetTwoNodesCompleteJobs(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec(t)
+	_, a := fleetServer(t, dir, "nodeA", serve.Config{Workers: 1})
+	_, b := fleetServer(t, dir, "nodeB", serve.Config{Workers: 1})
+
+	var ids []string
+	for seed := int64(1); seed <= 3; seed++ {
+		ids = append(ids, a.submit(quickJob(spec, seed)).ID)
+	}
+	for _, id := range ids {
+		v := a.await(id, "done", stateIs(serve.StateDone))
+		if v.Node == "" {
+			t.Errorf("job %s finished without node provenance", id)
+		}
+		// Both nodes serve the status and the certified result, whichever
+		// of them ran the job.
+		for name, n := range map[string]*api{"nodeA": a, "nodeB": b} {
+			bv := n.await(id, "done on "+name, stateIs(serve.StateDone))
+			if bv.Node != v.Node {
+				t.Errorf("%s reports job %s on node %q, %q elsewhere", name, id, bv.Node, v.Node)
+			}
+			var res serve.ResultView
+			if resp := n.do("GET", "/v1/jobs/"+id+"/result", nil, &res); resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: result %s: status %d", name, id, resp.StatusCode)
+			}
+			if res.State != serve.StateDone || res.Certification == nil || !res.Certification.Certified {
+				t.Fatalf("%s: result %s not certified: %+v", name, id, res.Certification)
+			}
+		}
+	}
+
+	// The structured readiness document carries the fleet section.
+	var ready serve.ReadyView
+	if resp := a.do("GET", "/readyz", nil, &ready); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz: status %d", resp.StatusCode)
+	}
+	if ready.Status != "ready" || ready.Fleet == nil || ready.Fleet.Node != "nodeA" {
+		t.Fatalf("/readyz = %+v, want ready with fleet section for nodeA", ready)
+	}
+	if ready.Fleet.LiveNodes < 2 {
+		t.Fatalf("live_nodes = %d, want both nodes heartbeating", ready.Fleet.LiveNodes)
+	}
+	// The fleet counters are exported through /metrics.
+	if got := metricValue(t, a, "fleet.claims") + metricValue(t, b, "fleet.claims"); got < 3 {
+		t.Fatalf("fleet.claims across nodes = %v, want >= 3", got)
+	}
+}
+
+// TestFleetNodeLossRecovery simulates a worker that claimed a job, wrote a
+// running manifest, and died without releasing: a live server must steal
+// the lease after expiry and run the job to certified completion.
+func TestFleetNodeLossRecovery(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec(t)
+
+	// The doomed node claims the job before any server exists.
+	dead := bareStore(t, dir, "deadnode", 300*time.Millisecond, nil)
+	id, err := dead.NewJobID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := quickJob(spec, 42)
+	specDoc, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := func(state string) []byte {
+		return []byte(fmt.Sprintf(`{"id":%q,"state":%q,"created":%q}`, id, state, time.Now().Format(time.RFC3339Nano)))
+	}
+	if err := dead.CreateJob(id, specDoc, man("queued")); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := dead.Claim(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lease.Write(fleet.KindManifest, man("running")); err != nil {
+		t.Fatal(err)
+	}
+	// ...and is never heard from again.
+
+	_, a := fleetServer(t, dir, "nodeA", serve.Config{Workers: 1})
+	v := a.await(id, "recovered and done", stateIs(serve.StateDone))
+	if v.Node != "nodeA" {
+		t.Fatalf("recovered job ran on %q, want nodeA", v.Node)
+	}
+	var res serve.ResultView
+	if resp := a.do("GET", "/v1/jobs/"+id+"/result", nil, &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d", resp.StatusCode)
+	}
+	if res.Certification == nil || !res.Certification.Certified {
+		t.Fatalf("recovered job finished without certification: %+v", res.Certification)
+	}
+	if got := metricValue(t, a, "fleet.steals"); got < 1 {
+		t.Fatalf("fleet.steals = %v, want >= 1 (the dead node's lease)", got)
+	}
+}
+
+// TestFleetStaleHolderIsFenced reclaims a running job's lease out from
+// under a live server (as a partition or long stall would): the server
+// must fence itself — count it, stop writing — and, once the usurper
+// releases, reclaim and finish the job. No write of the stale epoch may
+// shadow the reclaimed state.
+func TestFleetStaleHolderIsFenced(t *testing.T) {
+	dir := t.TempDir()
+	long := bigSpec(t)
+	_, a := fleetServer(t, dir, "nodeA", serve.Config{Workers: 1})
+
+	j := a.submit(longJob(long, 7))
+	a.await(j.ID, "running", stateIs(serve.StateRunning))
+
+	// The usurper's clock runs an hour ahead, so the held lease looks
+	// long-expired to it — exactly what a node on the wrong side of a
+	// partition concludes about a stalled peer.
+	ahead := func() time.Time { return time.Now().Add(time.Hour) }
+	thief := bareStore(t, dir, "thief", time.Minute, ahead)
+	stolen, err := thief.Claim(j.ID)
+	if err != nil {
+		t.Fatalf("usurper claim: %v", err)
+	}
+
+	// The server notices at its next heartbeat: its renew is rejected by
+	// the higher epoch and the job is abandoned without further writes.
+	deadline := time.Now().Add(30 * time.Second)
+	for metricValue(t, a, "serve.jobs_fenced") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never fenced itself after losing its lease")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := metricValue(t, a, "fleet.fence_rejects"); got < 1 {
+		t.Fatalf("fleet.fence_rejects = %v, want >= 1", got)
+	}
+
+	// The usurper walks away gracefully; the server reclaims the job and
+	// the work continues (finished here by cancelling the long run).
+	if err := stolen.Release(); err != nil {
+		t.Fatalf("usurper release: %v", err)
+	}
+	a.await(j.ID, "reclaimed and running", stateIs(serve.StateRunning))
+	if resp := a.do("DELETE", "/v1/jobs/"+j.ID, nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	v := a.await(j.ID, "cancelled", stateIs(serve.StateCancelled))
+	if v.Node != "nodeA" {
+		t.Fatalf("final manifest from node %q, want the reclaiming nodeA", v.Node)
+	}
+}
+
+// TestFleetReadyzReportsAwaitingRecovery pins the degraded-state
+// reporting: a job whose holder died shows up in /readyz as awaiting
+// recovery while no worker is free to claim it.
+func TestFleetReadyzReportsAwaitingRecovery(t *testing.T) {
+	dir := t.TempDir()
+	long := bigSpec(t)
+	_, a := fleetServer(t, dir, "nodeA", serve.Config{Workers: 1})
+
+	// The only worker is pinned down by a long job...
+	j := a.submit(longJob(long, 1))
+	a.await(j.ID, "running", stateIs(serve.StateRunning))
+
+	// ...while a second job's holder dies mid-run.
+	dead := bareStore(t, dir, "deadnode", 100*time.Millisecond, nil)
+	id, err := dead.NewJobID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := quickJob(tinySpec(t), 2)
+	specDoc, _ := json.Marshal(&req)
+	manifest := fmt.Sprintf(`{"id":%q,"state":"queued"}`, id)
+	if err := dead.CreateJob(id, specDoc, []byte(manifest)); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := dead.Claim(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	running := fmt.Sprintf(`{"id":%q,"state":"running"}`, id)
+	if err := lease.Write(fleet.KindManifest, []byte(running)); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var ready serve.ReadyView
+		if resp := a.do("GET", "/readyz", nil, &ready); resp.StatusCode != http.StatusOK {
+			t.Fatalf("/readyz: status %d", resp.StatusCode)
+		}
+		if ready.Fleet != nil && ready.Fleet.JobsAwaitingRecovery >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never reported the orphaned job: %+v", ready)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Freeing the worker lets the node pick the orphan up and finish it.
+	if resp := a.do("DELETE", "/v1/jobs/"+j.ID, nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	a.await(id, "orphan recovered", stateIs(serve.StateDone))
+}
+
+// TestFleetDurableCancel cancels a fleet job through a node that does NOT
+// hold its lease: the durable cancel marker must reach the holder.
+func TestFleetDurableCancel(t *testing.T) {
+	dir := t.TempDir()
+	long := bigSpec(t)
+	_, a := fleetServer(t, dir, "nodeA", serve.Config{Workers: 1})
+	_, b := fleetServer(t, dir, "nodeB", serve.Config{Workers: 0, QueueDepth: 1})
+
+	j := a.submit(longJob(long, 5))
+	a.await(j.ID, "running", stateIs(serve.StateRunning))
+	b.await(j.ID, "visible on the other node", stateIs(serve.StateRunning))
+
+	if resp := b.do("DELETE", "/v1/jobs/"+j.ID, nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cross-node cancel: status %d", resp.StatusCode)
+	}
+	a.await(j.ID, "cancelled via the marker", stateIs(serve.StateCancelled))
+}
+
+// TestSingleNodeLayoutUnchanged pins the PR 5 on-disk contract: without
+// fleet flags, a finished job's directory holds exactly the classic
+// manifest.json and result.json, and the manifest carries no fleet fields.
+func TestSingleNodeLayoutUnchanged(t *testing.T) {
+	spec := tinySpec(t)
+	dataDir := t.TempDir()
+	s := newServer(t, serve.Config{Workers: 1, QueueDepth: 4, DataDir: dataDir})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	t.Cleanup(func() {
+		cancel()
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		_ = s.Shutdown(sctx)
+	})
+	a := newAPI(t, s)
+
+	j := a.submit(quickJob(spec, 1))
+	v := a.await(j.ID, "done", stateIs(serve.StateDone))
+	if v.Node != "" {
+		t.Fatalf("single-node status advertises a node ID: %q", v.Node)
+	}
+
+	entries, err := os.ReadDir(filepath.Join(dataDir, "jobs", j.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	want := []string{"manifest.json", "result.json"}
+	if len(names) != len(want) || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("job dir contents = %v, want exactly %v", names, want)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dataDir, "jobs", j.ID, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, fleetKey := range []string{"node", "epoch"} {
+		if _, ok := m[fleetKey]; ok {
+			t.Fatalf("single-node manifest grew a fleet field %q: %s", fleetKey, raw)
+		}
+	}
+
+	// And the readiness document has no fleet section.
+	var ready serve.ReadyView
+	if resp := a.do("GET", "/readyz", nil, &ready); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz: status %d", resp.StatusCode)
+	}
+	if ready.Status != "ready" || ready.Fleet != nil {
+		t.Fatalf("single-node /readyz = %+v, want ready with no fleet section", ready)
+	}
+}

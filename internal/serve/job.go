@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"momosyn/internal/fleet"
 	"momosyn/internal/model"
 	"momosyn/internal/obs"
 	"momosyn/internal/synth"
@@ -116,6 +117,15 @@ type Job struct {
 	// obsRun is the per-job instrumentation run whose registry carries the
 	// live GA gauges; nil until the job first runs.
 	obsRun *obs.Run
+	// lease is this node's claim on the job (fleet mode); nil while the job
+	// is unclaimed, held elsewhere, or the server is single-node.
+	lease *fleet.Lease
+	// fenced marks a run abandoned because a higher lease epoch appeared;
+	// nothing from it may be persisted.
+	fenced bool
+	// node is the fleet node that owns (or last owned) the job, for
+	// display; empty in single-node mode.
+	node string
 	// sys and result hold the in-memory outcome for result rendering; jobs
 	// recovered from disk serve their persisted result.json instead.
 	sys    *model.System
@@ -132,6 +142,7 @@ type jobSnapshot struct {
 	ResumedFrom     int
 	CancelRequested bool
 	ObsRun          *obs.Run
+	Node            string
 }
 
 func (j *Job) snapshot() jobSnapshot {
@@ -141,7 +152,7 @@ func (j *Job) snapshot() jobSnapshot {
 		State: j.state, Err: j.err,
 		Created: j.created, Started: j.started, Finished: j.finished,
 		ResumedFrom: j.resumedFrom, CancelRequested: j.cancelRequested,
-		ObsRun: j.obsRun,
+		ObsRun: j.obsRun, Node: j.node,
 	}
 }
 
@@ -160,8 +171,11 @@ type StatusView struct {
 	Finished string `json:"finished,omitempty"`
 	// ResumedFrom is the checkpointed generation this job's run continued
 	// from after a server restart; 0 means it started from generation 0.
-	ResumedFrom int       `json:"resumed_from,omitempty"`
-	Progress    *Progress `json:"progress,omitempty"`
+	ResumedFrom int `json:"resumed_from,omitempty"`
+	// Node is the fleet node owning (or that last owned) the job; empty in
+	// single-node mode.
+	Node     string    `json:"node,omitempty"`
+	Progress *Progress `json:"progress,omitempty"`
 }
 
 // status renders the job for the API. The system name comes from the
@@ -177,6 +191,7 @@ func (j *Job) status(systemName string) StatusView {
 		DVS:         j.Request.DVS,
 		Error:       s.Err,
 		ResumedFrom: s.ResumedFrom,
+		Node:        s.Node,
 	}
 	if !s.Created.IsZero() {
 		v.Created = s.Created.UTC().Format(time.RFC3339Nano)

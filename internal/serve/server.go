@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"momosyn/internal/fleet"
 	"momosyn/internal/ga"
 	"momosyn/internal/model"
 	"momosyn/internal/obs"
@@ -63,6 +64,25 @@ type Config struct {
 	Registry *obs.Registry
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
+
+	// FleetDir, when set, turns the server into one node of a
+	// shared-filesystem fleet: jobs are published into this directory and
+	// executed by whichever node claims their lease. DataDir is not used in
+	// fleet mode. See docs/FLEET.md.
+	FleetDir string
+	// NodeID is this node's fleet-wide unique identifier
+	// ([A-Za-z0-9._-]{1,64}; default "node-<pid>"). Fleet mode only.
+	NodeID string
+	// LeaseTTL is how long a job lease stays valid without renewal; a node
+	// that misses renewals for this long loses its jobs to the rest of the
+	// fleet (default 5s). Fleet mode only.
+	LeaseTTL time.Duration
+	// Heartbeat is the lease renewal and fleet scan interval (default
+	// LeaseTTL/3). Fleet mode only.
+	Heartbeat time.Duration
+	// FleetFS is the filesystem the fleet store runs on (default the real
+	// filesystem; tests inject chaosfs). Fleet mode only.
+	FleetFS fleet.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +104,20 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.FleetDir != "" {
+		if c.NodeID == "" {
+			c.NodeID = fmt.Sprintf("node-%d", os.Getpid())
+		}
+		if c.LeaseTTL <= 0 {
+			c.LeaseTTL = 5 * time.Second
+		}
+		if c.Heartbeat <= 0 {
+			c.Heartbeat = c.LeaseTTL / 3
+		}
+		if c.FleetFS == nil {
+			c.FleetFS = fleet.OSFS{}
+		}
+	}
 	return c
 }
 
@@ -103,11 +137,18 @@ type Server struct {
 	wg         sync.WaitGroup
 	cancelRoot context.CancelCauseFunc
 
+	// Fleet mode state; nil/zero in single-node mode.
+	fleetStore *fleet.Store
+	fleetFS    fleet.FS
+
 	// Metric handles held once so the hot paths skip the registry map.
-	qDepth     *obs.Gauge
-	running    *obs.Gauge
-	busy       *obs.Gauge
-	jobSeconds *obs.Histogram
+	qDepth          *obs.Gauge
+	running         *obs.Gauge
+	busy            *obs.Gauge
+	jobSeconds      *obs.Histogram
+	fleetRecovering *obs.Gauge
+	fleetLiveNodes  *obs.Gauge
+	fleetDegraded   *obs.Gauge
 }
 
 // New builds a Server over cfg.DataDir, recovering previously persisted
@@ -116,7 +157,7 @@ type Server struct {
 // worker picks them up). Call Start to launch the worker pool.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	if cfg.DataDir == "" {
+	if cfg.DataDir == "" && cfg.FleetDir == "" {
 		return nil, errors.New("serve: Config.DataDir is required")
 	}
 	s := &Server{
@@ -129,6 +170,29 @@ func New(cfg Config) (*Server, error) {
 	s.busy = s.reg.Gauge("serve.workers_busy")
 	s.jobSeconds = s.reg.Histogram("serve.job_seconds", obs.DefTimeBuckets)
 	s.reg.Gauge("serve.workers").Set(float64(cfg.Workers))
+
+	if cfg.FleetDir != "" {
+		store, err := fleet.Open(fleet.Config{
+			Dir: cfg.FleetDir, Node: cfg.NodeID, TTL: cfg.LeaseTTL,
+			FS: cfg.FleetFS, Registry: cfg.Registry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.fleetStore = store
+		s.fleetFS = cfg.FleetFS
+		s.fleetRecovering = s.reg.Gauge("fleet.jobs_recoverable")
+		s.fleetLiveNodes = s.reg.Gauge("fleet.live_nodes")
+		s.fleetDegraded = s.reg.Gauge("fleet.degraded")
+		s.queue = make(chan *Job, cfg.QueueDepth)
+		// Recovery is the claim loop's job: populate the table now so the
+		// API lists existing work immediately, but claim nothing before
+		// Start.
+		if err := s.syncFleet(); err != nil {
+			return nil, fmt.Errorf("serve: fleet: %w", err)
+		}
+		return s, nil
+	}
 
 	requeue, maxSeq, err := s.recoverJobs()
 	if err != nil {
@@ -169,6 +233,10 @@ func (s *Server) Start(ctx context.Context) {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(root)
+	}
+	if s.fleetStore != nil {
+		s.wg.Add(1)
+		go s.fleetLoop(root)
 	}
 }
 
@@ -259,10 +327,16 @@ func (s *Server) worker(ctx context.Context) {
 // checkpoint resume decision, the synthesis itself behind a recover
 // barrier, outcome classification and persistence.
 func (s *Server) runJob(ctx context.Context, j *Job) {
-	// A job cancelled while queued is already terminal: skip it.
+	// A job cancelled while queued is already terminal: skip it (in fleet
+	// mode its terminal manifest is committed and the lease let go).
 	j.mu.Lock()
 	if j.state != StateQueued {
+		lease := j.lease
 		j.mu.Unlock()
+		if lease != nil {
+			s.persist(j)
+			s.dropLease(j, lease)
+		}
 		return
 	}
 	jobCtx, cancel := context.WithCancelCause(ctx)
@@ -271,7 +345,14 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	j.started = time.Now()
 	j.finished = time.Time{}
 	j.cancel = cancel
+	lease := j.lease
 	j.mu.Unlock()
+	var hbStop chan struct{}
+	var hbDone chan struct{}
+	if lease != nil {
+		hbStop, hbDone = make(chan struct{}), make(chan struct{})
+		go s.fleetHeartbeat(cancel, j, lease, hbStop, hbDone)
+	}
 	s.persist(j)
 	s.running.Add(1)
 	s.busy.Add(1)
@@ -294,7 +375,13 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	// and, when configured, a JSONL trace in the job directory.
 	var sink obs.Sink
 	if s.cfg.TraceJobs {
-		f, err := os.Create(filepath.Join(j.dir, traceFile))
+		tracePath := filepath.Join(j.dir, traceFile)
+		if lease != nil {
+			// Per-epoch trace names keep concurrent holders (a stale one and
+			// its successor) from interleaving into one file.
+			tracePath = s.fleetStore.TracePath(j.ID, lease.Epoch)
+		}
+		f, err := os.Create(tracePath)
 		if err != nil {
 			s.logf("serve: job %s: trace: %v", j.ID, err)
 		} else {
@@ -310,11 +397,36 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	if cerr := run.Close(); cerr != nil {
 		s.logf("serve: job %s: trace close: %v", j.ID, cerr)
 	}
+	if lease != nil {
+		// Stop renewals before the final persists: a renewal after Release
+		// would resurrect the lease and block the fleet from reclaiming.
+		close(hbStop)
+		<-hbDone
+		// A fenced checkpoint write surfaces as a Partial result, not an
+		// error; re-check the fence here so a superseded run can never be
+		// classified (even locally) as completed.
+		if verr := lease.Verify(); errors.Is(verr, fleet.ErrLeaseLost) {
+			s.fence(j, nil, verr)
+		}
+	}
 
 	// Classify the outcome.
 	j.mu.Lock()
 	j.cancel = nil
 	cancelled := j.cancelRequested
+	fenced := j.fenced || errors.Is(err, fleet.ErrLeaseLost)
+	if fenced {
+		// Another node holds a higher lease epoch: it owns the job now and
+		// this run's outcome is void. Persist NOTHING — the view refreshes
+		// from the new holder's manifests at the next fleet sync.
+		j.fenced = true
+		j.state = StateQueued
+		j.started = time.Time{}
+		j.err = ""
+		j.lease = nil
+		j.mu.Unlock()
+		return
+	}
 	drained := err == nil && res != nil && res.Partial && ctx.Err() != nil && !cancelled
 	switch {
 	case drained:
@@ -363,7 +475,16 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 			s.logf("serve: job %s: render result: %v", j.ID, rerr)
 		}
 		// A finished job no longer needs its checkpoint.
-		os.Remove(filepath.Join(j.dir, checkpointFile))
+		if lease != nil {
+			s.fleetStore.RemoveCheckpoints(j.ID)
+		} else {
+			os.Remove(filepath.Join(j.dir, checkpointFile))
+		}
+	}
+	if lease != nil {
+		// Terminal or drained-back-to-queued, the state is committed: let
+		// the lease go so the fleet can act on the job immediately.
+		s.dropLease(j, lease)
 	}
 }
 
@@ -375,18 +496,6 @@ func (s *Server) synthesize(ctx context.Context, j *Job, run *obs.Run) (*model.S
 	sys, err := specio.ReadBytes([]byte(j.Request.Spec))
 	if err != nil {
 		return nil, nil, err
-	}
-	ckpt := filepath.Join(j.dir, checkpointFile)
-	resume := false
-	if cp, lerr := runctl.Load(ckpt); lerr == nil {
-		resume = true
-		j.mu.Lock()
-		j.resumedFrom = cp.Snapshot.Generation
-		j.mu.Unlock()
-		s.reg.Counter("serve.jobs_resumed").Inc()
-	} else if !errors.Is(lerr, os.ErrNotExist) {
-		s.logf("serve: job %s: unusable checkpoint, starting fresh: %v", j.ID, lerr)
-		os.Remove(ckpt)
 	}
 	opts := synth.Options{
 		UseDVS:               j.Request.DVS,
@@ -400,16 +509,43 @@ func (s *Server) synthesize(ctx context.Context, j *Job, run *obs.Run) (*model.S
 		},
 		Seed:            j.Request.Seed,
 		Context:         ctx,
-		CheckpointPath:  ckpt,
 		CheckpointEvery: s.cfg.CheckpointEvery,
-		Resume:          resume,
 		Certify:         j.Request.certify(),
 		Obs:             run,
 	}
+	j.mu.Lock()
+	lease := j.lease
+	j.mu.Unlock()
+	if lease != nil {
+		if ferr := s.fleetCheckpointing(j, lease, &opts); ferr != nil {
+			if errors.Is(ferr, fleet.ErrLeaseLost) {
+				return nil, nil, ferr
+			}
+			s.logf("serve: job %s: checkpoint recovery degraded to fresh start: %v", j.ID, ferr)
+			opts.Resume = false
+		}
+	} else {
+		ckpt := filepath.Join(j.dir, checkpointFile)
+		opts.CheckpointPath = ckpt
+		if cp, lerr := runctl.Load(ckpt); lerr == nil {
+			opts.Resume = true
+			j.mu.Lock()
+			j.resumedFrom = cp.Snapshot.Generation
+			j.mu.Unlock()
+			s.reg.Counter("serve.jobs_resumed").Inc()
+		} else if !errors.Is(lerr, os.ErrNotExist) {
+			s.logf("serve: job %s: unusable checkpoint, starting fresh: %v", j.ID, lerr)
+			os.Remove(ckpt)
+		}
+	}
 	res, err := safeSynthesize(sys, opts)
-	if err != nil && resume {
+	if err != nil && opts.Resume && !errors.Is(err, fleet.ErrLeaseLost) {
 		s.logf("serve: job %s: resume failed (%v), restarting from generation 0", j.ID, err)
-		os.Remove(ckpt)
+		if lease != nil {
+			_ = s.fleetFS.Remove(opts.CheckpointPath)
+		} else {
+			os.Remove(opts.CheckpointPath)
+		}
 		j.mu.Lock()
 		j.resumedFrom = 0
 		j.mu.Unlock()
@@ -444,20 +580,64 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if s.Draining() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ready\n")
-	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /metrics", s.reg)
 	requests := s.reg.Counter("serve.http_requests")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		requests.Inc()
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// ReadyView is the JSON body of GET /readyz: a structured readiness
+// document instead of a bare string, so operators and load balancers can
+// see WHY a node is degraded. Status is "ready", "degraded" (still 200:
+// the node serves, but the fleet has jobs awaiting lease recovery) or
+// "draining" (503).
+type ReadyView struct {
+	Status      string          `json:"status"`
+	Workers     int             `json:"workers"`
+	WorkersBusy int             `json:"workers_busy"`
+	QueueDepth  int             `json:"queue_depth"`
+	JobsRunning int             `json:"jobs_running"`
+	Fleet       *FleetReadyView `json:"fleet,omitempty"`
+}
+
+// FleetReadyView is the fleet section of ReadyView.
+type FleetReadyView struct {
+	Node string `json:"node"`
+	// LiveNodes counts fleet nodes with an unexpired liveness heartbeat.
+	LiveNodes int `json:"live_nodes"`
+	// JobsAwaitingRecovery counts jobs whose latest manifest says running
+	// but whose lease has lapsed: their holder died or hung, and they wait
+	// for some node to claim and resume them.
+	JobsAwaitingRecovery int `json:"jobs_awaiting_recovery"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	v := ReadyView{
+		Status:      "ready",
+		Workers:     s.cfg.Workers,
+		WorkersBusy: int(s.busy.Value()),
+		QueueDepth:  int(s.qDepth.Value()),
+		JobsRunning: int(s.running.Value()),
+	}
+	if s.fleetStore != nil {
+		v.Fleet = &FleetReadyView{
+			Node:                 s.cfg.NodeID,
+			LiveNodes:            int(s.fleetLiveNodes.Value()),
+			JobsAwaitingRecovery: int(s.fleetRecovering.Value()),
+		}
+		if s.fleetDegraded.Value() > 0 {
+			v.Status = "degraded"
+		}
+	}
+	code := http.StatusOK
+	if s.Draining() {
+		v.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, v)
 }
 
 // apiError is the JSON error envelope.
@@ -542,6 +722,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		s.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if s.fleetStore != nil {
+		// Fleet admission: bound the fleet-wide backlog of unstarted jobs
+		// the same way the single-node queue is bounded.
+		queued := 0
+		for _, j := range s.jobs {
+			if j.snapshot().State == StateQueued {
+				queued++
+			}
+		}
+		s.mu.Unlock()
+		if queued >= s.cfg.QueueDepth {
+			s.reg.Counter("serve.jobs_rejected").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "queue full (%d jobs waiting); retry later", queued)
+			return
+		}
+		j, err := s.submitFleet(req, sys.App.Name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "publish job: %v", err)
+			return
+		}
+		s.reg.Counter("serve.jobs_submitted").Inc()
+		view := SubmitView{StatusView: j.status(j.system)}
+		for _, wn := range warns {
+			view.Warnings = append(view.Warnings, wn.String())
+		}
+		w.Header().Set("Location", "/v1/jobs/"+j.ID)
+		writeJSON(w, http.StatusAccepted, view)
 		return
 	}
 	id := jobID(s.seq + 1)
@@ -672,7 +882,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Write(doc)
 		return
 	}
-	if doc := j.loadResult(); doc != nil {
+	if doc := s.loadResultDoc(j); doc != nil {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(doc)
 		return
@@ -680,9 +890,50 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusConflict, "job %s is %s and produced no result", j.ID, state)
 }
 
+// loadResultDoc returns the job's persisted result document, or nil. In
+// fleet mode corrupt epochs are skipped down to the last valid one.
+func (s *Server) loadResultDoc(j *Job) []byte {
+	if s.fleetStore != nil {
+		data, _, err := s.fleetStore.Latest(j.ID, fleet.KindResult, func(d []byte) error {
+			if !json.Valid(d) {
+				return errors.New("result document is not valid JSON")
+			}
+			return nil
+		})
+		if err != nil {
+			return nil
+		}
+		return data
+	}
+	return j.loadResult()
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(w, r)
 	if j == nil {
+		return
+	}
+	if s.fleetStore != nil {
+		j.mu.Lock()
+		state := j.state
+		local := j.lease != nil
+		j.mu.Unlock()
+		if state.Terminal() {
+			writeError(w, http.StatusConflict, "job %s is already %s", j.ID, state)
+			return
+		}
+		// The durable marker reaches whichever node holds (or will claim)
+		// the job, even if that is not us.
+		if err := s.fleetStore.RequestCancel(j.ID); err != nil {
+			writeError(w, http.StatusInternalServerError, "cancel %s: %v", j.ID, err)
+			return
+		}
+		if local {
+			// Held here: stop it now rather than at the next heartbeat. The
+			// worker commits the terminal manifest and releases the lease.
+			j.requestCancel(errors.New("cancelled by client"))
+		}
+		writeJSON(w, http.StatusAccepted, j.status(j.system))
 		return
 	}
 	state, changed := j.requestCancel(errors.New("cancelled by client"))

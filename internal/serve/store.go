@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"momosyn/internal/fleet"
 )
 
 // manifest is the on-disk record of one job, written atomically on every
@@ -26,6 +28,11 @@ type manifest struct {
 	// ResumedFrom records the checkpoint generation the last run continued
 	// from, so restart semantics stay observable across restarts.
 	ResumedFrom int `json:"resumed_from,omitempty"`
+	// Node and Epoch record fleet provenance: which node wrote this
+	// manifest under which lease epoch. Both are zero in single-node mode,
+	// keeping its manifests byte-identical to earlier releases.
+	Node  string `json:"node,omitempty"`
+	Epoch int    `json:"epoch,omitempty"`
 }
 
 const (
@@ -41,7 +48,10 @@ func (s *Server) jobDir(id string) string {
 }
 
 // writeFileAtomic writes data to path via a temp file and rename, the same
-// crash discipline runctl uses for checkpoints.
+// crash discipline runctl uses for checkpoints. The parent directory is
+// fsynced after the rename: without it a crash can lose the rename itself
+// (the data is durable but the directory entry is not), resurrecting the
+// old file.
 func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -60,13 +70,34 @@ func writeFileAtomic(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making renames within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // persist writes the job's manifest. Persistence failures are logged, not
 // fatal: the in-memory job table keeps serving, the job merely loses
-// restart durability.
+// restart durability. In fleet mode the write goes through the lease
+// fence instead.
 func (s *Server) persist(j *Job) {
+	if s.fleetStore != nil {
+		s.fleetPersist(j)
+		return
+	}
 	snap := j.snapshot()
 	m := manifest{
 		ID:          j.ID,
@@ -89,9 +120,22 @@ func (s *Server) persist(j *Job) {
 }
 
 // persistResult stores the rendered result document next to the manifest
-// so terminal jobs keep serving their result across restarts.
+// so terminal jobs keep serving their result across restarts. Fleet mode
+// writes it through the lease fence at the lease's epoch.
 func (s *Server) persistResult(j *Job, doc []byte) {
-	if err := writeFileAtomic(filepath.Join(j.dir, resultFile), doc); err != nil {
+	var err error
+	if s.fleetStore != nil {
+		j.mu.Lock()
+		lease := j.lease
+		j.mu.Unlock()
+		if lease == nil {
+			return
+		}
+		err = lease.Write(fleet.KindResult, doc)
+	} else {
+		err = writeFileAtomic(filepath.Join(j.dir, resultFile), doc)
+	}
+	if err != nil {
 		s.logf("serve: job %s: persist result: %v", j.ID, err)
 	}
 }

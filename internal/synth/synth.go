@@ -73,6 +73,13 @@ type Options struct {
 	// CheckpointEvery is the generation interval between checkpoints
 	// (default 10 when CheckpointPath is set).
 	CheckpointEvery int
+	// CheckpointSave, when non-nil, replaces the default checkpoint writer
+	// (runctl.Save). The fleet layer uses it to fence checkpoint writes
+	// behind its lease epoch and to thread a fault-injectable filesystem
+	// underneath; like Obs it never changes the search trajectory, so it is
+	// excluded from the checkpoint fingerprint. A returned error stops the
+	// run at the current generation boundary with the best-so-far result.
+	CheckpointSave func(path string, cp *runctl.Checkpoint) error
 	// Resume restores the run from CheckpointPath instead of starting
 	// fresh. The spec, seed and options must match the checkpointed run;
 	// the resumed run then converges to the same result as an
@@ -270,8 +277,12 @@ func Synthesize(sys *model.System, opts Options) (*Result, error) {
 			every = 10
 		}
 		rc.CheckpointEvery = every
+		saveCheckpoint := opts.CheckpointSave
+		if saveCheckpoint == nil {
+			saveCheckpoint = runctl.Save
+		}
 		rc.OnCheckpoint = func(s *ga.Snapshot) error {
-			return runctl.Save(opts.CheckpointPath, &runctl.Checkpoint{
+			return saveCheckpoint(opts.CheckpointPath, &runctl.Checkpoint{
 				System:      sys.App.Name,
 				GenomeLen:   codec.Len(),
 				Seed:        opts.Seed,

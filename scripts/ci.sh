@@ -40,6 +40,12 @@ echo "==> trace smoke (mmsynth -trace/-metrics through mmtrace)"
 echo "==> serve smoke (mmserved job service)"
 ./scripts/serve_smoke.sh
 
+# Fleet chaos smoke: two nodes over one shared fleet directory, four jobs,
+# kill -9 one node mid-run; the survivor must steal the orphaned leases and
+# finish every job exactly once with certified results.
+echo "==> fleet chaos smoke (mmserved multi-node node-loss recovery)"
+./scripts/fleet_chaos_smoke.sh
+
 # Certification sweep: every benchmark spec through `mmsynth -certify` at
 # a small GA budget, plus a fault-injection negative control (exit 4).
 echo "==> certify (specs/ through mmsynth -certify)"

@@ -1,11 +1,13 @@
 // End-to-end test of the mmserved process: boot the real binary on a free
-// port, drive the HTTP job API, and verify that SIGTERM drains the server
-// cleanly with exit status 0. Run with -short to skip.
+// port, drive the HTTP job API through the backoff client, and verify that
+// SIGTERM drains the server cleanly with exit status 0. Run with -short to
+// skip.
 package momosyn_test
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"os"
@@ -15,14 +17,19 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"momosyn/internal/serve"
 )
 
 // startServed boots mmserved on a kernel-assigned port and returns the
 // running process plus the base URL scraped from its stdout announcement.
-func startServed(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+func startServed(t *testing.T, bin, dataDir string, extraArgs ...string) (*exec.Cmd, string) {
 	t.Helper()
-	cmd := exec.Command(filepath.Join(bin, "mmserved"),
-		"-addr", "127.0.0.1:0", "-data", dataDir, "-workers", "2", "-drain", "30s")
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain", "30s"}, extraArgs...)
+	if dataDir != "" {
+		args = append(args, "-data", dataDir)
+	}
+	cmd := exec.Command(filepath.Join(bin, "mmserved"), args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +60,20 @@ func startServed(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
 	return cmd, strings.TrimSpace(line[i+len(marker):])
 }
 
+// servedClient builds the retrying API client the e2e tests submit
+// through: transient 429/503 answers and connection hiccups back off and
+// retry instead of relying on fixed sleeps.
+func servedClient(t *testing.T, base string) *serve.Client {
+	t.Helper()
+	return &serve.Client{
+		BaseURL:        base,
+		BaseDelay:      20 * time.Millisecond,
+		MaxDelay:       time.Second,
+		RequestTimeout: 10 * time.Second,
+		Logf:           t.Logf,
+	}
+}
+
 func TestServedEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mmserved end-to-end test skipped in -short mode")
@@ -70,12 +91,14 @@ func TestServedEndToEnd(t *testing.T) {
 	}
 
 	dataDir := filepath.Join(work, "data")
-	cmd, base := startServed(t, bin, dataDir)
-	client := &http.Client{Timeout: 10 * time.Second}
+	cmd, base := startServed(t, bin, dataDir, "-workers", "2")
+	client := servedClient(t, base)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
 
 	// Liveness first: the announcement races ahead of the listener only if
 	// something is broken, but check rather than assume.
-	resp, err := client.Get(base + "/healthz")
+	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		t.Fatalf("healthz: %v", err)
 	}
@@ -85,53 +108,24 @@ func TestServedEndToEnd(t *testing.T) {
 	}
 
 	// Submit one quick job and poll it to certified completion.
-	body, _ := json.Marshal(map[string]any{
-		"spec": string(specText),
-		"seed": 1,
-		"ga":   map[string]int{"pop_size": 16, "max_generations": 40, "stagnation": 15},
+	sub, err := client.Submit(ctx, serve.JobRequest{
+		Spec: string(specText),
+		Seed: 1,
+		GA:   serve.GAParams{PopSize: 16, MaxGenerations: 40, Stagnation: 15},
 	})
-	resp, err = client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("submit: %v", err)
 	}
-	var sub struct {
-		ID    string `json:"id"`
-		State string `json:"state"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&sub)
-	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit: status %d err %v", resp.StatusCode, err)
-	}
-
-	deadline := time.Now().Add(60 * time.Second)
-	state := sub.State
-	for state != "done" && time.Now().Before(deadline) {
-		time.Sleep(50 * time.Millisecond)
-		resp, err := client.Get(base + "/v1/jobs/" + sub.ID)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var st struct {
-			State string `json:"state"`
-			Error string `json:"error"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if st.State == "failed" {
-			t.Fatalf("job failed: %s", st.Error)
-		}
-		state = st.State
-	}
-	if state != "done" {
-		t.Fatalf("job stuck in state %q", state)
-	}
-	resp, err = client.Get(base + "/v1/jobs/" + sub.ID + "/result")
+	final, err := client.WaitTerminal(ctx, sub.ID, 50*time.Millisecond)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("wait: %v", err)
+	}
+	if final.State != serve.StateDone {
+		t.Fatalf("job ended %s (%s), want done", final.State, final.Error)
+	}
+	raw, err := client.Result(ctx, sub.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
 	}
 	var res struct {
 		Feasible      bool `json:"feasible"`
@@ -139,10 +133,8 @@ func TestServedEndToEnd(t *testing.T) {
 			Certified bool `json:"certified"`
 		} `json:"certification"`
 	}
-	err = json.NewDecoder(resp.Body).Decode(&res)
-	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusOK {
-		t.Fatalf("result: status %d err %v", resp.StatusCode, err)
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("result decode: %v", err)
 	}
 	if !res.Feasible || res.Certification == nil || !res.Certification.Certified {
 		t.Fatalf("result not certified feasible: %+v", res)
@@ -150,18 +142,12 @@ func TestServedEndToEnd(t *testing.T) {
 
 	// Start a long-running job so the drain has something to interrupt,
 	// then SIGTERM the server: it must exit 0 within the drain window.
-	body, _ = json.Marshal(map[string]any{
-		"spec": string(specText),
-		"seed": 2,
-		"ga":   map[string]int{"pop_size": 48, "max_generations": 1000000, "stagnation": 1000000},
-	})
-	resp, err = client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit long job: status %d", resp.StatusCode)
+	if _, err := client.Submit(ctx, serve.JobRequest{
+		Spec: string(specText),
+		Seed: 2,
+		GA:   serve.GAParams{PopSize: 48, MaxGenerations: 1_000_000, Stagnation: 1_000_000},
+	}); err != nil {
+		t.Fatalf("submit long job: %v", err)
 	}
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
