@@ -53,6 +53,14 @@ func main() {
 		nodeID    = flag.String("node-id", "", "this node's fleet-wide unique ID (default <hostname>-<pid>)")
 		leaseTTL  = flag.Duration("lease-ttl", 5*time.Second, "fleet job lease time-to-live; a node silent this long loses its jobs")
 		heartbeat = flag.Duration("heartbeat", 0, "fleet lease renewal and scan interval (default lease-ttl/3)")
+
+		maxAttempts   = flag.Int("max-attempts", 3, "per-job execution budget; a job failing this many times is quarantined")
+		retryBackoff  = flag.Duration("retry-backoff", 2*time.Second, "base delay between a failed attempt and its retry (doubles per failure, capped at 1m)")
+		jobTimeout    = flag.Duration("job-timeout", 0, "per-attempt wall-clock budget; 0 disables (requests may set a tighter deadline_ms)")
+		maxGens       = flag.Int("max-generations", 0, "server-wide GA generation cap per job; 0 disables")
+		watchdogStall = flag.Duration("watchdog-stall", 2*time.Minute, "fail an attempt whose GA makes no generation progress this long; 0 disables")
+		watchdogGrace = flag.Duration("watchdog-grace", 10*time.Second, "after a watchdog kill, abandon the worker slot if the attempt is still wedged this long")
+		failpoints    = flag.Bool("failpoints", false, "accept submissions carrying a failpoint fault injection (lifecycle drills only)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "mmserved: ", log.LstdFlags)
@@ -64,6 +72,12 @@ func main() {
 	}
 	if *workers <= 0 || *queue <= 0 || *ckptEvery <= 0 {
 		fatalUsage(errors.New("-workers, -queue and -checkpoint-every must be positive"))
+	}
+	if *maxAttempts <= 0 {
+		fatalUsage(errors.New("-max-attempts must be positive"))
+	}
+	if *jobTimeout < 0 || *watchdogStall < 0 || *watchdogGrace < 0 || *retryBackoff < 0 || *maxGens < 0 {
+		fatalUsage(errors.New("-job-timeout, -watchdog-stall, -watchdog-grace, -retry-backoff and -max-generations must not be negative"))
 	}
 	if *fleetDir != "" && *nodeID == "" {
 		host, err := os.Hostname()
@@ -86,6 +100,13 @@ func main() {
 		NodeID:          *nodeID,
 		LeaseTTL:        *leaseTTL,
 		Heartbeat:       *heartbeat,
+		MaxAttempts:     *maxAttempts,
+		RetryBackoff:    *retryBackoff,
+		JobTimeout:      *jobTimeout,
+		MaxGenerations:  *maxGens,
+		WatchdogStall:   *watchdogStall,
+		WatchdogGrace:   *watchdogGrace,
+		Failpoints:      *failpoints,
 	})
 	if err != nil {
 		logger.Print(err)

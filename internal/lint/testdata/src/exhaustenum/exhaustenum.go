@@ -67,6 +67,41 @@ func UseSingle(s Single) string {
 	return ""
 }
 
+// JobState mirrors the serve package's string-typed lifecycle enum: when a
+// new state (quarantined) joins the constant set, every switch that fails
+// to handle it must be flagged — this is the gate that keeps state-machine
+// extensions honest.
+type JobState string
+
+const (
+	JobQueued      JobState = "queued"
+	JobRunning     JobState = "running"
+	JobDone        JobState = "done"
+	JobQuarantined JobState = "quarantined"
+)
+
+// TerminalMissingQuarantined predates the quarantined state: flagged.
+func TerminalMissingQuarantined(s JobState) bool {
+	switch s { // want "switch over JobState is not exhaustive: missing JobQuarantined"
+	case JobQueued, JobRunning:
+		return false
+	case JobDone:
+		return true
+	}
+	return false
+}
+
+// TerminalAllStates covers the full lifecycle: fine.
+func TerminalAllStates(s JobState) bool {
+	switch s {
+	case JobQueued, JobRunning:
+		return false
+	case JobDone, JobQuarantined:
+		return true
+	}
+	return false
+}
+
 // Suppressed demonstrates a reviewed //mmlint:ignore directive: the finding
 // is filtered, so no want expectation here.
 func Suppressed(k Kind) string {

@@ -45,6 +45,15 @@ type Client struct {
 	rng            *rand.Rand
 }
 
+// MaxResponseBytes bounds how much of a response body the client will
+// read. Larger answers fail with ErrResponseTooLarge rather than being
+// silently truncated into undecodable JSON.
+const MaxResponseBytes = 16 << 20
+
+// ErrResponseTooLarge reports a response body over MaxResponseBytes. It is
+// terminal: retrying cannot shrink the answer.
+var ErrResponseTooLarge = errors.New("serve: client: response exceeds the 16 MiB limit")
+
 // StatusError is a non-2xx API answer that was not retried away.
 type StatusError struct {
 	Code int
@@ -180,6 +189,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, err
 		}
+		if errors.Is(err, ErrResponseTooLarge) {
+			return nil, err // retrying cannot shrink the answer
+		}
 	}
 	return nil, fmt.Errorf("serve: client: %s %s: giving up after %d attempts: %w", method, path, c.maxAttempts(), lastErr)
 }
@@ -207,10 +219,16 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 		return nil, fmt.Errorf("serve: client: %w", err)
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	// Read one byte past the cap: exactly-at-cap answers pass, anything
+	// longer is detected instead of handed to the JSON decoder truncated.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxResponseBytes+1))
 	if err != nil {
 		c.setRetryAfter(0)
 		return nil, fmt.Errorf("serve: client: read response: %w", err)
+	}
+	if len(data) > MaxResponseBytes {
+		c.setRetryAfter(0)
+		return nil, fmt.Errorf("%s %s: %w", method, path, ErrResponseTooLarge)
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		c.setRetryAfter(0)

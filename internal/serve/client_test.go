@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -159,5 +160,57 @@ func TestClientWaitTerminal(t *testing.T) {
 	}
 	if hits.Load() < 3 {
 		t.Fatalf("WaitTerminal returned after %d polls, want >= 3", hits.Load())
+	}
+}
+
+// TestClientWaitTerminalQuarantined: quarantined is terminal to the
+// client — WaitTerminal must return it, not poll it forever.
+func TestClientWaitTerminalQuarantined(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		state := "queued"
+		if hits.Add(1) >= 2 {
+			state = "quarantined"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"id": "j000001", "state": state, "attempts": 3})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v, err := testClient(ts.URL).WaitTerminal(ctx, "j000001", time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitTerminal: %v", err)
+	}
+	if v.State != serve.StateQuarantined || v.Attempts != 3 {
+		t.Fatalf("terminal view = %+v, want quarantined with 3 attempts", v)
+	}
+}
+
+// TestClientResponseTooLarge: an oversized answer is a typed, terminal
+// error — detected, not truncated into undecodable JSON, and not retried
+// (a retry cannot shrink the response).
+func TestClientResponseTooLarge(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		chunk := bytes.Repeat([]byte("x"), 1<<20)
+		for written := 0; written <= serve.MaxResponseBytes; written += len(chunk) {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+		}
+	}))
+	defer ts.Close()
+
+	_, err := testClient(ts.URL).Result(context.Background(), "j000001")
+	if !errors.Is(err, serve.ErrResponseTooLarge) {
+		t.Fatalf("err = %v, want ErrResponseTooLarge", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (no retry of a size overrun)", got)
 	}
 }

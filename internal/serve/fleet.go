@@ -54,6 +54,7 @@ func (s *Server) fleetManifest(j *Job, epoch int) ([]byte, error) {
 		Node:        s.cfg.NodeID,
 		Epoch:       epoch,
 	}
+	m.Attempts, m.NotBefore = manifestRetry(snap)
 	return json.MarshalIndent(&m, "", "  ")
 }
 
@@ -227,6 +228,11 @@ func (j *Job) applyManifestLocked(m *manifest) {
 	j.started = m.Started
 	j.finished = m.Finished
 	j.resumedFrom = m.ResumedFrom
+	j.attempts = m.Attempts
+	j.notBefore = time.Time{}
+	if m.NotBefore != nil {
+		j.notBefore = *m.NotBefore
+	}
 	j.node = m.Node
 }
 
@@ -242,6 +248,7 @@ func (s *Server) claimRunnable(ctx context.Context) {
 		return
 	}
 	free := s.cfg.Workers - int(s.busy.Value()) - len(s.queue)
+	now := time.Now()
 	for _, id := range ids {
 		if free <= 0 {
 			return
@@ -253,7 +260,12 @@ func (s *Server) claimRunnable(ctx context.Context) {
 			continue
 		}
 		j.mu.Lock()
-		claimable := j.lease == nil && !j.state.Terminal()
+		claimable := j.lease == nil && !j.state.Terminal() &&
+			// Retry backoff: a failed job stays unclaimed fleet-wide until
+			// its not_before passes (except running manifests — an expired
+			// lease on those must be stolen regardless, if only to count the
+			// dead attempt).
+			(j.state != StateQueued || j.notBefore.IsZero() || !now.Before(j.notBefore))
 		j.mu.Unlock()
 		if !claimable {
 			continue
@@ -292,8 +304,40 @@ func (s *Server) claimJob(j *Job) bool {
 	}
 	j.mu.Lock()
 	terminal := j.state.Terminal()
+	// A stolen running manifest means the previous holder's execution died
+	// with it (crash, hang, partition): that attempt is spent. The counter
+	// rides the manifests, so a poison job burns one budget fleet-wide no
+	// matter which nodes execute it.
+	stolenRunning := !terminal && j.state == StateRunning
+	if stolenRunning {
+		j.attempts++
+	}
+	quarantine := !terminal && j.attempts >= s.cfg.MaxAttempts
+	attempts := j.attempts
+	lastErr := j.err
 	j.mu.Unlock()
 	if terminal {
+		s.dropLease(j, lease)
+		return false
+	}
+	if quarantine {
+		// Budget exhausted: commit the terminal quarantine manifest at our
+		// epoch instead of re-running. No node will claim it again.
+		j.mu.Lock()
+		j.state = StateQuarantined
+		j.err = quarantineCause(attempts, fmt.Errorf("attempt died with its node (last error: %s)", orNone(lastErr)))
+		j.finished = time.Now()
+		j.node = s.cfg.NodeID
+		j.mu.Unlock()
+		if data, merr := s.fleetManifest(j, lease.Epoch); merr == nil {
+			if werr := lease.Write(fleet.KindManifest, data); werr != nil {
+				s.logf("serve: fleet: quarantine %s: %v", j.ID, werr)
+			}
+		}
+		s.reg.Counter("serve.jobs_quarantined").Inc()
+		s.quarWindow.record(time.Now())
+		s.logf("serve: fleet: job %s quarantined after %d attempts", j.ID, attempts)
+		s.fleetStore.RemoveCheckpoints(j.ID)
 		s.dropLease(j, lease)
 		return false
 	}
@@ -319,6 +363,12 @@ func (s *Server) claimJob(j *Job) bool {
 	j.state = StateQueued
 	j.node = s.cfg.NodeID
 	j.mu.Unlock()
+	if stolenRunning {
+		// Make the consumed attempt durable (as queued, at our epoch) before
+		// the job runs again, so a chain of node deaths cannot launder the
+		// budget away.
+		s.fleetPersist(j)
+	}
 	select {
 	case s.queue <- j:
 		s.qDepth.Set(float64(len(s.queue)))

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -339,9 +340,9 @@ func TestSingleNodeLayoutUnchanged(t *testing.T) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatal(err)
 	}
-	for _, fleetKey := range []string{"node", "epoch"} {
+	for _, fleetKey := range []string{"node", "epoch", "attempts", "not_before"} {
 		if _, ok := m[fleetKey]; ok {
-			t.Fatalf("single-node manifest grew a fleet field %q: %s", fleetKey, raw)
+			t.Fatalf("single-node manifest grew a field %q: %s", fleetKey, raw)
 		}
 	}
 
@@ -352,5 +353,112 @@ func TestSingleNodeLayoutUnchanged(t *testing.T) {
 	}
 	if ready.Status != "ready" || ready.Fleet != nil {
 		t.Fatalf("single-node /readyz = %+v, want ready with no fleet section", ready)
+	}
+}
+
+// TestFleetPoisonJobQuarantined is the issue's acceptance drill: a job
+// that fails every execution, submitted to a two-node fleet, must land in
+// quarantined after exactly max-attempts executions fleet-wide — the
+// budget rides the manifests, not any one node — while a healthy job
+// submitted alongside it completes and certifies.
+func TestFleetPoisonJobQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec(t)
+	cfg := serve.Config{
+		Workers: 1, MaxAttempts: 3, RetryBackoff: time.Millisecond,
+		Failpoints: true,
+	}
+	_, a := fleetServer(t, dir, "nodeA", cfg)
+	_, b := fleetServer(t, dir, "nodeB", cfg)
+
+	poison := quickJob(spec, 31)
+	poison.Failpoint = "panic"
+	pj := a.submit(poison)
+	good := a.submit(quickJob(spec, 32))
+
+	gv := a.await(good.ID, "healthy job done", stateIs(serve.StateDone))
+	var res serve.ResultView
+	if resp := a.do("GET", "/v1/jobs/"+good.ID+"/result", nil, &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy result: status %d", resp.StatusCode)
+	}
+	if res.Certification == nil || !res.Certification.Certified {
+		t.Fatalf("healthy job on node %q finished uncertified: %+v", gv.Node, res.Certification)
+	}
+
+	pv := a.await(pj.ID, "quarantined", stateIs(serve.StateQuarantined))
+	if pv.Attempts != 3 {
+		t.Fatalf("attempts = %d, want exactly the fleet-wide budget of 3", pv.Attempts)
+	}
+	sum := func(name string) float64 { return metricValue(t, a, name) + metricValue(t, b, name) }
+	eventually(t, "serve.jobs_quarantined across nodes = 1", func() bool {
+		return sum("serve.jobs_quarantined") == 1
+	})
+	// 3 poison executions + 1 healthy one.
+	if got := sum("serve.attempts_total"); got != 4 {
+		t.Fatalf("serve.attempts_total across nodes = %v, want 4 (the poison budget plus the healthy run)", got)
+	}
+
+	// Never reclaimed: several claim-loop scans later, no node has started
+	// a fourth execution and the state is unchanged on both.
+	time.Sleep(300 * time.Millisecond)
+	if got := sum("serve.attempts_total"); got != 4 {
+		t.Fatalf("quarantined job re-executed: attempts_total = %v", got)
+	}
+	for name, n := range map[string]*api{"nodeA": a, "nodeB": b} {
+		if v := n.await(pj.ID, "quarantined on "+name, stateIs(serve.StateQuarantined)); v.Attempts != 3 {
+			t.Fatalf("%s: attempts = %d, want 3", name, v.Attempts)
+		}
+	}
+}
+
+// TestFleetStealHonoursBudget: stealing a dead node's running job consumes
+// the attempt that died with it — and a job whose budget that exhausts is
+// quarantined at claim time, without the thief running it even once. The
+// spec is healthy (it would succeed if executed), so a quarantined outcome
+// proves the claim path enforced the budget rather than the synthesis
+// failing.
+func TestFleetStealHonoursBudget(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec(t)
+
+	// The doomed node is two failures deep into a third attempt when it
+	// dies without releasing the lease.
+	dead := bareStore(t, dir, "deadnode", 300*time.Millisecond, nil)
+	id, err := dead.NewJobID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := quickJob(spec, 33)
+	specDoc, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := []byte(fmt.Sprintf(`{"id":%q,"state":"running","created":%q,"attempts":2,"error":"synthesis panicked"}`,
+		id, time.Now().Format(time.RFC3339Nano)))
+	if err := dead.CreateJob(id, specDoc, man); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := dead.Claim(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lease.Write(fleet.KindManifest, man); err != nil {
+		t.Fatal(err)
+	}
+	// ...and is never heard from again.
+
+	_, a := fleetServer(t, dir, "nodeA", serve.Config{Workers: 1, MaxAttempts: 3})
+	v := a.await(id, "quarantined at claim", stateIs(serve.StateQuarantined))
+	if v.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (the death consumed the last one)", v.Attempts)
+	}
+	if !strings.Contains(v.Error, "died with its node") || !strings.Contains(v.Error, "synthesis panicked") {
+		t.Fatalf("quarantine cause lost the history: %q", v.Error)
+	}
+	eventually(t, "serve.jobs_quarantined = 1", func() bool {
+		return metricValue(t, a, "serve.jobs_quarantined") == 1
+	})
+	if got := metricValue(t, a, "serve.attempts_total"); got != 0 {
+		t.Fatalf("serve.attempts_total = %v, want 0 (the thief never ran it)", got)
 	}
 }

@@ -12,24 +12,29 @@ import (
 )
 
 // State is one stage of the job lifecycle. The machine is strictly
-// forward: queued → running → (done | failed | cancelled), with the one
-// backward edge running → queued taken when a server drain interrupts a
-// job so a restarted server can resume it from its checkpoint.
+// forward: queued → running → (done | failed | cancelled | quarantined),
+// with two backward edges: running → queued when a server drain interrupts
+// a job so a restarted server can resume it from its checkpoint, and
+// running → queued with a retry delay when an attempt fails but the job
+// still has attempt budget left. A job whose failures exhaust the budget
+// lands in quarantined — terminal, never re-enqueued, locally or by a
+// stealing fleet node.
 type State string
 
 // The job states.
 const (
-	StateQueued    State = "queued"
-	StateRunning   State = "running"
-	StateDone      State = "done"
-	StateFailed    State = "failed"
-	StateCancelled State = "cancelled"
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCancelled   State = "cancelled"
+	StateQuarantined State = "quarantined"
 )
 
 // Terminal reports whether the state ends the lifecycle.
 func (s State) Terminal() bool {
 	switch s {
-	case StateDone, StateFailed, StateCancelled:
+	case StateDone, StateFailed, StateCancelled, StateQuarantined:
 		return true
 	case StateQueued, StateRunning:
 		return false
@@ -41,7 +46,7 @@ func (s State) Terminal() bool {
 // valid reports whether s is a known state (manifests are external input).
 func (s State) valid() bool {
 	switch s {
-	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateQuarantined:
 		return true
 	default:
 		return false
@@ -71,6 +76,16 @@ type JobRequest struct {
 	// Certify defaults to true: results leave the server certified by the
 	// independent verifier unless the client opts out explicitly.
 	Certify *bool `json:"certify,omitempty"`
+	// DeadlineMS is an optional wall-clock budget in milliseconds, counted
+	// from submission. It covers queue wait: a submission the server cannot
+	// plausibly start and finish in time is shed at admission (429), and a
+	// run that outlives it is stopped at the next generation boundary with
+	// its best-so-far result recorded.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Failpoint injects a deterministic fault into the job's execution for
+	// lifecycle drills ("fail", "fail:N", "panic", "hang", "hang-coop").
+	// Rejected unless the server runs with failpoints enabled.
+	Failpoint string `json:"failpoint,omitempty"`
 }
 
 // certify resolves the tri-state Certify field.
@@ -108,6 +123,13 @@ type Job struct {
 	// resumedFrom is the checkpointed generation the current (or last) run
 	// continued from; 0 for fresh runs.
 	resumedFrom int
+	// attempts counts failed executions so far (in-process failures, and
+	// executions presumed dead at recovery or fleet steal time). It stays 0
+	// on the happy path, keeping non-retried manifests unchanged.
+	attempts int
+	// notBefore delays the next attempt of a failed-but-retryable job
+	// (exponential backoff); zero when the job is runnable immediately.
+	notBefore time.Time
 	// cancelRequested distinguishes a client DELETE from a server drain:
 	// both cancel the run context, but only the former is terminal.
 	cancelRequested bool
@@ -140,6 +162,8 @@ type jobSnapshot struct {
 	Started         time.Time
 	Finished        time.Time
 	ResumedFrom     int
+	Attempts        int
+	NotBefore       time.Time
 	CancelRequested bool
 	ObsRun          *obs.Run
 	Node            string
@@ -151,8 +175,9 @@ func (j *Job) snapshot() jobSnapshot {
 	return jobSnapshot{
 		State: j.state, Err: j.err,
 		Created: j.created, Started: j.started, Finished: j.finished,
-		ResumedFrom: j.resumedFrom, CancelRequested: j.cancelRequested,
-		ObsRun: j.obsRun, Node: j.node,
+		ResumedFrom: j.resumedFrom, Attempts: j.attempts, NotBefore: j.notBefore,
+		CancelRequested: j.cancelRequested,
+		ObsRun:          j.obsRun, Node: j.node,
 	}
 }
 
@@ -172,6 +197,10 @@ type StatusView struct {
 	// ResumedFrom is the checkpointed generation this job's run continued
 	// from after a server restart; 0 means it started from generation 0.
 	ResumedFrom int `json:"resumed_from,omitempty"`
+	// Attempts counts failed executions so far; 0 on the happy path.
+	Attempts int `json:"attempts,omitempty"`
+	// RetryAt is when a failed-but-retryable job becomes runnable again.
+	RetryAt string `json:"retry_at,omitempty"`
 	// Node is the fleet node owning (or that last owned) the job; empty in
 	// single-node mode.
 	Node     string    `json:"node,omitempty"`
@@ -191,7 +220,11 @@ func (j *Job) status(systemName string) StatusView {
 		DVS:         j.Request.DVS,
 		Error:       s.Err,
 		ResumedFrom: s.ResumedFrom,
+		Attempts:    s.Attempts,
 		Node:        s.Node,
+	}
+	if s.State == StateQueued && !s.NotBefore.IsZero() {
+		v.RetryAt = s.NotBefore.UTC().Format(time.RFC3339Nano)
 	}
 	if !s.Created.IsZero() {
 		v.Created = s.Created.UTC().Format(time.RFC3339Nano)
@@ -236,7 +269,7 @@ func (j *Job) requestCancel(cause error) (State, bool) {
 			j.cancel(cause)
 		}
 		return j.state, true
-	case StateDone, StateFailed, StateCancelled:
+	case StateDone, StateFailed, StateCancelled, StateQuarantined:
 		return j.state, false
 	default:
 		return j.state, false

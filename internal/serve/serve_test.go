@@ -602,3 +602,18 @@ func TestMetricsRegistrySharing(t *testing.T) {
 		t.Fatalf("serve.workers = %v, want 3", got)
 	}
 }
+
+// eventually polls cond until it holds or the deadline passes. Counters
+// move just after the state transition they describe becomes visible, so
+// a test that saw the state may be a beat ahead of the metric.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -6,13 +6,22 @@
 // runctl checkpoints and a passive obs instrumentation run feeding live
 // generation progress.
 //
-// Lifecycle: queued → running → done | failed | cancelled. Jobs persist a
-// manifest (and, when finished, their rendered result) under the data
-// directory, so a restarted server lists old jobs, re-queues interrupted
-// ones and resumes them from their checkpoints rather than from
-// generation 0. Graceful shutdown drains the workers: running jobs stop at
-// their next generation boundary, write a final checkpoint and return to
-// the queued state on disk. See docs/SERVER.md.
+// Lifecycle: queued → running → done | failed | cancelled | quarantined.
+// Jobs persist a manifest (and, when finished, their rendered result)
+// under the data directory, so a restarted server lists old jobs,
+// re-queues interrupted ones and resumes them from their checkpoints
+// rather than from generation 0. Graceful shutdown drains the workers:
+// running jobs stop at their next generation boundary, write a final
+// checkpoint and return to the queued state on disk.
+//
+// The lifecycle is hardened against hostile inputs and overload: every
+// failed execution counts against a per-job attempt budget (with
+// exponential backoff between retries) and a job that exhausts it is
+// quarantined — terminal, never re-enqueued, by this server, a restarted
+// one, or a stealing fleet node. Wall-clock deadlines and a generation
+// cap bound each run; a watchdog kills attempts that stop making
+// generation progress; and submissions whose deadline cannot plausibly be
+// met are shed at admission with 429 + Retry-After. See docs/SERVER.md.
 package serve
 
 import (
@@ -65,6 +74,43 @@ type Config struct {
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 
+	// MaxAttempts is the per-job execution budget (default 3): a job whose
+	// failed executions — in-process errors, panics, watchdog kills, and
+	// executions presumed dead at recovery or fleet-steal time — reach this
+	// count is quarantined instead of retried.
+	MaxAttempts int
+	// RetryBackoff seeds the exponential backoff separating a failed
+	// attempt from the next execution (default 2s, doubling per failure,
+	// capped at one minute).
+	RetryBackoff time.Duration
+	// JobTimeout, when positive, bounds each execution's wall-clock time;
+	// an expired run stops at its next generation boundary, records its
+	// best-so-far partial result and fails terminally (a deadline miss is
+	// not retried — more attempts cannot make the clock move backwards).
+	// Requests may tighten this further with deadline_ms.
+	JobTimeout time.Duration
+	// MaxGenerations, when positive, caps the GA generation budget of every
+	// job: requests asking for more (or for the engine default by leaving
+	// it zero) are clamped at admission.
+	MaxGenerations int
+	// WatchdogStall, when positive, arms the worker watchdog: an execution
+	// whose GA generation gauge does not move for this long is cancelled
+	// and the attempt failed rather than hanging its pool slot.
+	WatchdogStall time.Duration
+	// WatchdogGrace is how long the watchdog waits after cancelling a
+	// stalled attempt before abandoning the slot entirely (default 10s).
+	WatchdogGrace time.Duration
+	// Failpoints permits submissions carrying a "failpoint" fault
+	// injection; off by default — lifecycle drills only.
+	Failpoints bool
+	// ShedDegradeThreshold marks the node degraded in /readyz when at
+	// least this many submissions were shed in the last minute (default
+	// 10).
+	ShedDegradeThreshold int
+	// QuarantineDegradeThreshold marks the node degraded when at least
+	// this many jobs were quarantined in the last minute (default 1).
+	QuarantineDegradeThreshold int
+
 	// FleetDir, when set, turns the server into one node of a
 	// shared-filesystem fleet: jobs are published into this directory and
 	// executed by whichever node claims their lease. DataDir is not used in
@@ -104,6 +150,21 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Second
+	}
+	if c.WatchdogGrace <= 0 {
+		c.WatchdogGrace = 10 * time.Second
+	}
+	if c.ShedDegradeThreshold <= 0 {
+		c.ShedDegradeThreshold = 10
+	}
+	if c.QuarantineDegradeThreshold <= 0 {
+		c.QuarantineDegradeThreshold = 1
+	}
 	if c.FleetDir != "" {
 		if c.NodeID == "" {
 			c.NodeID = fmt.Sprintf("node-%d", os.Getpid())
@@ -136,6 +197,17 @@ type Server struct {
 	queue      chan *Job
 	wg         sync.WaitGroup
 	cancelRoot context.CancelCauseFunc
+	// rootCtx is the worker pool's context, kept so retry timers die with
+	// the pool instead of firing into a drained server.
+	rootCtx context.Context
+
+	// Observed per-job service time (EWMA seconds) behind the admission
+	// estimator, and the sliding shed/quarantine windows behind /readyz
+	// degradation.
+	svcMu      sync.Mutex
+	svcAvg     float64
+	shedWindow eventWindow
+	quarWindow eventWindow
 
 	// Fleet mode state; nil/zero in single-node mode.
 	fleetStore *fleet.Store
@@ -229,6 +301,7 @@ func (s *Server) Start(ctx context.Context) {
 	s.started = true
 	root, cancel := context.WithCancelCause(ctx)
 	s.cancelRoot = cancel
+	s.rootCtx = root
 	s.mu.Unlock()
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -289,7 +362,7 @@ func (s *Server) jobsByState() {
 	for _, j := range s.jobs {
 		counts[j.snapshot().State]++
 	}
-	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateQuarantined} {
 		s.reg.Gauge("serve.jobs_state_" + string(st)).Set(float64(counts[st]))
 	}
 }
@@ -344,9 +417,31 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.finished = time.Time{}
+	j.notBefore = time.Time{}
 	j.cancel = cancel
 	lease := j.lease
+	created := j.created
 	j.mu.Unlock()
+	s.reg.Counter("serve.attempts_total").Inc()
+	// The execution context: the job context (worker pool + client cancel +
+	// watchdog) further bounded by the tighter of the server's per-attempt
+	// timeout and the request's wall-clock deadline (counted from
+	// submission, so queue wait spends it too).
+	runCtx := jobCtx
+	var deadline time.Time
+	if j.Request.DeadlineMS > 0 {
+		deadline = created.Add(time.Duration(j.Request.DeadlineMS) * time.Millisecond)
+	}
+	if s.cfg.JobTimeout > 0 {
+		if t := time.Now().Add(s.cfg.JobTimeout); deadline.IsZero() || t.Before(deadline) {
+			deadline = t
+		}
+	}
+	if !deadline.IsZero() {
+		var cancelDeadline context.CancelFunc
+		runCtx, cancelDeadline = context.WithDeadlineCause(jobCtx, deadline, errJobDeadline)
+		defer cancelDeadline()
+	}
 	var hbStop chan struct{}
 	var hbDone chan struct{}
 	if lease != nil {
@@ -365,6 +460,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		s.busy.Add(-1)
 		d := time.Since(start)
 		s.jobSeconds.ObserveDuration(d)
+		s.observeServiceTime(d)
 		s.reg.Gauge("serve.worker_busy_seconds").Add(d.Seconds())
 		s.mu.Lock()
 		s.jobsByState()
@@ -393,8 +489,12 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	j.obsRun = run
 	j.mu.Unlock()
 
-	sys, res, err := s.synthesize(jobCtx, j, run)
-	if cerr := run.Close(); cerr != nil {
+	out, abandoned := s.superviseSynthesis(runCtx, cancel, j, run)
+	sys, res, err := out.sys, out.res, out.err
+	if abandoned {
+		// The wedged attempt still owns the run and may yet write to it;
+		// closing the sink under it would race. Leak it with the goroutine.
+	} else if cerr := run.Close(); cerr != nil {
 		s.logf("serve: job %s: trace close: %v", j.ID, cerr)
 	}
 	if lease != nil {
@@ -427,7 +527,16 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		j.mu.Unlock()
 		return
 	}
+	cause := context.Cause(runCtx)
+	deadlineHit := errors.Is(cause, errJobDeadline) || errors.Is(err, errJobDeadline)
+	if err == nil && errors.Is(cause, errWatchdogStall) && !cancelled {
+		// The watchdog cancelled a cooperative run: it returned its partial
+		// state cleanly, but the attempt itself failed.
+		err = cause
+	}
 	drained := err == nil && res != nil && res.Partial && ctx.Err() != nil && !cancelled
+	now := time.Now()
+	var retryIn time.Duration
 	switch {
 	case drained:
 		// Server shutdown interrupted the run mid-flight; its closing
@@ -436,24 +545,45 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		j.state = StateQueued
 		j.started = time.Time{}
 		j.err = ""
-	case err != nil:
+	case deadlineHit && !cancelled:
+		// A deadline miss is terminal, not retried: another attempt cannot
+		// make the clock move backwards. The best-so-far partial result is
+		// persisted below.
 		j.state = StateFailed
-		j.err = err.Error()
-		j.finished = time.Now()
+		j.err = "job deadline exceeded (best-so-far result recorded)"
+		j.finished = now
+	case err != nil && !cancelled:
+		// One failed execution. Within budget the job goes back to queued
+		// behind an exponential backoff; past it, quarantine — terminal,
+		// never re-enqueued here, by a restarted server, or by a stealing
+		// fleet node.
+		j.attempts++
+		if j.attempts >= s.cfg.MaxAttempts {
+			j.state = StateQuarantined
+			j.err = quarantineCause(j.attempts, err)
+			j.finished = now
+		} else {
+			retryIn = retryDelay(s.cfg.RetryBackoff, j.attempts)
+			j.state = StateQueued
+			j.started = time.Time{}
+			j.err = err.Error()
+			j.notBefore = now.Add(retryIn)
+		}
 	case cancelled:
 		j.state = StateCancelled
 		j.err = ""
-		j.finished = time.Now()
+		j.finished = now
 	default:
 		j.state = StateDone
 		j.err = ""
-		j.finished = time.Now()
+		j.finished = now
 	}
 	if res != nil {
 		j.sys = sys
 		j.result = res
 	}
 	state := j.state
+	attempts := j.attempts
 	j.mu.Unlock()
 	s.persist(j)
 
@@ -462,19 +592,30 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		s.reg.Counter("serve.jobs_done").Inc()
 	case StateFailed:
 		s.reg.Counter("serve.jobs_failed").Inc()
-		s.logf("serve: job %s failed: %v", j.ID, err)
+		s.logf("serve: job %s failed: %s", j.ID, j.snapshot().Err)
 	case StateCancelled:
 		s.reg.Counter("serve.jobs_cancelled").Inc()
+	case StateQuarantined:
+		s.reg.Counter("serve.jobs_quarantined").Inc()
+		s.quarWindow.record(time.Now())
+		s.logf("serve: job %s quarantined after %d failed attempts: %v", j.ID, attempts, err)
 	case StateQueued, StateRunning:
-		// drained: neither terminal counter moves.
-	}
-	if state.Terminal() && res != nil {
-		if doc, rerr := renderResult(j, sys, res); rerr == nil {
-			s.persistResult(j, doc)
-		} else {
-			s.logf("serve: job %s: render result: %v", j.ID, rerr)
+		// Drained or retrying: neither terminal counter moves.
+		if retryIn > 0 {
+			s.reg.Counter("serve.jobs_retried").Inc()
+			s.logf("serve: job %s: attempt %d/%d failed (%v); retrying in %v", j.ID, attempts, s.cfg.MaxAttempts, err, retryIn)
 		}
-		// A finished job no longer needs its checkpoint.
+	}
+	if state.Terminal() {
+		if res != nil {
+			if doc, rerr := renderResult(j, sys, res); rerr == nil {
+				s.persistResult(j, doc)
+			} else {
+				s.logf("serve: job %s: render result: %v", j.ID, rerr)
+			}
+		}
+		// A finished job no longer needs its checkpoint (quarantined
+		// included: it will never run again).
 		if lease != nil {
 			s.fleetStore.RemoveCheckpoints(j.ID)
 		} else {
@@ -482,10 +623,47 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		}
 	}
 	if lease != nil {
-		// Terminal or drained-back-to-queued, the state is committed: let
-		// the lease go so the fleet can act on the job immediately.
+		// Terminal, drained or awaiting retry, the state is committed: let
+		// the lease go so the fleet can act on the job immediately (the
+		// claim loops honour the retry delay in the manifest).
 		s.dropLease(j, lease)
+	} else if retryIn > 0 {
+		s.requeueAfter(j, retryIn)
 	}
+}
+
+// requeueAfter re-enqueues a failed-but-retryable job once its backoff
+// elapses (single-node mode; fleet retries go through the claim loop). The
+// timer dies with the worker pool: a job still waiting out its backoff at
+// shutdown stays queued on disk and the next server picks it up.
+func (s *Server) requeueAfter(j *Job, delay time.Duration) {
+	s.mu.Lock()
+	ctx := s.rootCtx
+	s.mu.Unlock()
+	if ctx == nil { // not started (tests): run the timer unbounded
+		ctx = context.Background()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				s.logf("serve: job %s: requeue timer crashed: %v", j.ID, p)
+			}
+		}()
+		defer s.wg.Done()
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		select {
+		case <-ctx.Done():
+		case s.queue <- j:
+			s.qDepth.Set(float64(len(s.queue)))
+		}
+	}()
 }
 
 // synthesize parses the job's spec, decides fresh-versus-resume from the
@@ -496,6 +674,14 @@ func (s *Server) synthesize(ctx context.Context, j *Job, run *obs.Run) (*model.S
 	sys, err := specio.ReadBytes([]byte(j.Request.Spec))
 	if err != nil {
 		return nil, nil, err
+	}
+	if fp := j.Request.Failpoint; fp != "" {
+		// Fault injection for lifecycle drills, behind Config.Failpoints
+		// (enforced at admission). It replaces the synthesis so an
+		// abandoned hanging attempt owns no checkpoint or trace state.
+		if err := s.failpoint(ctx, j, fp); err != nil {
+			return sys, nil, err
+		}
 	}
 	opts := synth.Options{
 		UseDVS:               j.Request.DVS,
@@ -595,12 +781,22 @@ func (s *Server) Handler() http.Handler {
 // the node serves, but the fleet has jobs awaiting lease recovery) or
 // "draining" (503).
 type ReadyView struct {
-	Status      string          `json:"status"`
-	Workers     int             `json:"workers"`
-	WorkersBusy int             `json:"workers_busy"`
-	QueueDepth  int             `json:"queue_depth"`
-	JobsRunning int             `json:"jobs_running"`
-	Fleet       *FleetReadyView `json:"fleet,omitempty"`
+	Status      string `json:"status"`
+	Workers     int    `json:"workers"`
+	WorkersBusy int    `json:"workers_busy"`
+	QueueDepth  int    `json:"queue_depth"`
+	JobsRunning int    `json:"jobs_running"`
+	// Degraded lists the reasons behind a "degraded" status (empty when
+	// ready): recovery skipped damaged manifests, the shed or quarantine
+	// rate crossed its threshold, or the fleet has jobs awaiting recovery.
+	Degraded []string `json:"degraded,omitempty"`
+	// ManifestsSkipped counts damaged job manifests skipped at recovery.
+	ManifestsSkipped int `json:"manifests_skipped,omitempty"`
+	// ShedLastMinute and QuarantinedLastMinute are the sliding-window
+	// overload signals the degradation thresholds apply to.
+	ShedLastMinute        int             `json:"shed_last_minute,omitempty"`
+	QuarantinedLastMinute int             `json:"quarantined_last_minute,omitempty"`
+	Fleet                 *FleetReadyView `json:"fleet,omitempty"`
 }
 
 // FleetReadyView is the fleet section of ReadyView.
@@ -615,12 +811,25 @@ type FleetReadyView struct {
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
 	v := ReadyView{
-		Status:      "ready",
-		Workers:     s.cfg.Workers,
-		WorkersBusy: int(s.busy.Value()),
-		QueueDepth:  int(s.qDepth.Value()),
-		JobsRunning: int(s.running.Value()),
+		Status:                "ready",
+		Workers:               s.cfg.Workers,
+		WorkersBusy:           int(s.busy.Value()),
+		QueueDepth:            int(s.qDepth.Value()),
+		JobsRunning:           int(s.running.Value()),
+		ManifestsSkipped:      int(s.reg.Counter("serve.manifests_skipped").Value()),
+		ShedLastMinute:        s.shedWindow.count(now),
+		QuarantinedLastMinute: s.quarWindow.count(now),
+	}
+	if v.ManifestsSkipped > 0 {
+		v.Degraded = append(v.Degraded, fmt.Sprintf("recovery skipped %d damaged job manifests", v.ManifestsSkipped))
+	}
+	if v.ShedLastMinute >= s.cfg.ShedDegradeThreshold {
+		v.Degraded = append(v.Degraded, fmt.Sprintf("%d submissions shed in the last minute (threshold %d)", v.ShedLastMinute, s.cfg.ShedDegradeThreshold))
+	}
+	if v.QuarantinedLastMinute >= s.cfg.QuarantineDegradeThreshold {
+		v.Degraded = append(v.Degraded, fmt.Sprintf("%d jobs quarantined in the last minute (threshold %d)", v.QuarantinedLastMinute, s.cfg.QuarantineDegradeThreshold))
 	}
 	if s.fleetStore != nil {
 		v.Fleet = &FleetReadyView{
@@ -629,8 +838,11 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 			JobsAwaitingRecovery: int(s.fleetRecovering.Value()),
 		}
 		if s.fleetDegraded.Value() > 0 {
-			v.Status = "degraded"
+			v.Degraded = append(v.Degraded, "fleet has jobs awaiting lease recovery")
 		}
+	}
+	if len(v.Degraded) > 0 {
+		v.Status = "degraded"
 	}
 	code := http.StatusOK
 	if s.Draining() {
@@ -669,6 +881,33 @@ type SubmitView struct {
 	Warnings []string `json:"warnings,omitempty"`
 }
 
+// maybeShed applies overload-aware admission: a submission carrying a
+// deadline the server cannot plausibly meet — given the queue backlog and
+// the observed per-job service time — is answered 429 with a Retry-After
+// hint instead of queued to certain failure. It reports whether the
+// response was written. With no service-time observations yet the server
+// admits rather than guessing.
+func (s *Server) maybeShed(w http.ResponseWriter, req *JobRequest, queued int) bool {
+	if req.DeadlineMS <= 0 {
+		return false
+	}
+	wait, ok := s.estimateWait(queued)
+	if !ok {
+		return false
+	}
+	budget := time.Duration(req.DeadlineMS) * time.Millisecond
+	if wait <= budget {
+		return false
+	}
+	s.reg.Counter("serve.jobs_shed").Inc()
+	s.shedWindow.record(time.Now())
+	w.Header().Set("Retry-After", s.shedRetryAfter(wait))
+	writeError(w, http.StatusTooManyRequests,
+		"deadline of %dms cannot be met (estimated completion in %v with %d jobs queued); shed at admission",
+		req.DeadlineMS, wait.Round(time.Millisecond), queued)
+	return true
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSpecBytes+1))
 	if err != nil {
@@ -693,6 +932,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case req.Spec != "" && req.SpecName != "":
 		writeError(w, http.StatusBadRequest, "spec and spec_name are mutually exclusive")
 		return
+	}
+	if req.DeadlineMS < 0 {
+		writeError(w, http.StatusBadRequest, "deadline_ms must be positive")
+		return
+	}
+	if req.Failpoint != "" {
+		if !s.cfg.Failpoints {
+			writeError(w, http.StatusBadRequest, "failpoints are not enabled on this server")
+			return
+		}
+		if !validFailpoint(req.Failpoint) {
+			writeError(w, http.StatusBadRequest, "unknown failpoint %q", req.Failpoint)
+			return
+		}
+	}
+	// The server-side generation budget clamps every run, including ones
+	// asking for the (larger) engine default by leaving the field zero.
+	if s.cfg.MaxGenerations > 0 && (req.GA.MaxGenerations <= 0 || req.GA.MaxGenerations > s.cfg.MaxGenerations) {
+		req.GA.MaxGenerations = s.cfg.MaxGenerations
 	}
 	if req.SpecName != "" {
 		if s.cfg.SpecDir == "" {
@@ -740,6 +998,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusTooManyRequests, "queue full (%d jobs waiting); retry later", queued)
 			return
 		}
+		if s.maybeShed(w, &req, queued) {
+			return
+		}
 		j, err := s.submitFleet(req, sys.App.Name)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "publish job: %v", err)
@@ -752,6 +1013,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, view)
+		return
+	}
+	if s.maybeShed(w, &req, len(s.queue)) {
+		s.mu.Unlock()
 		return
 	}
 	id := jobID(s.seq + 1)

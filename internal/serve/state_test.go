@@ -1,0 +1,42 @@
+package serve
+
+import "testing"
+
+// TestStateTerminal pins the terminal set: exactly done, failed, cancelled
+// and quarantined. A new state added without updating Terminal() breaks
+// every piece of machinery keyed on it (result serving, re-enqueue guards,
+// client polling), so the full table lives here.
+func TestStateTerminal(t *testing.T) {
+	cases := []struct {
+		state State
+		want  bool
+	}{
+		{StateQueued, false},
+		{StateRunning, false},
+		{StateDone, true},
+		{StateFailed, true},
+		{StateCancelled, true},
+		{StateQuarantined, true},
+	}
+	for _, c := range cases {
+		if got := c.state.Terminal(); got != c.want {
+			t.Errorf("State(%q).Terminal() = %v, want %v", c.state, got, c.want)
+		}
+	}
+}
+
+// TestStateValid: every lifecycle member is valid, and junk — including
+// the zero value and case variants — is not. Recovery leans on this to
+// reject corrupt manifests.
+func TestStateValid(t *testing.T) {
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateQuarantined} {
+		if !s.valid() {
+			t.Errorf("State(%q).valid() = false, want true", s)
+		}
+	}
+	for _, s := range []State{"", "bogus", "Queued", "QUARANTINED", "quarantine", "done "} {
+		if s.valid() {
+			t.Errorf("State(%q).valid() = true, want false", s)
+		}
+	}
+}

@@ -28,11 +28,29 @@ type manifest struct {
 	// ResumedFrom records the checkpoint generation the last run continued
 	// from, so restart semantics stay observable across restarts.
 	ResumedFrom int `json:"resumed_from,omitempty"`
+	// Attempts counts failed executions of this job so far; it is carried
+	// through restarts and fleet steals so a poison job exhausts its budget
+	// fleet-wide, not per node. NotBefore (a pointer so the happy path
+	// omits it — time.Time has no empty encoding) delays the next retry.
+	// Both are absent for jobs that never failed, keeping their manifests
+	// byte-identical to earlier releases.
+	Attempts  int        `json:"attempts,omitempty"`
+	NotBefore *time.Time `json:"not_before,omitempty"`
 	// Node and Epoch record fleet provenance: which node wrote this
 	// manifest under which lease epoch. Both are zero in single-node mode,
 	// keeping its manifests byte-identical to earlier releases.
 	Node  string `json:"node,omitempty"`
 	Epoch int    `json:"epoch,omitempty"`
+}
+
+// manifestRetry renders the job's retry fields for a manifest.
+func manifestRetry(snap jobSnapshot) (int, *time.Time) {
+	var nb *time.Time
+	if !snap.NotBefore.IsZero() {
+		t := snap.NotBefore
+		nb = &t
+	}
+	return snap.Attempts, nb
 }
 
 const (
@@ -110,6 +128,7 @@ func (s *Server) persist(j *Job) {
 		Finished:    snap.Finished,
 		ResumedFrom: snap.ResumedFrom,
 	}
+	m.Attempts, m.NotBefore = manifestRetry(snap)
 	data, err := json.MarshalIndent(&m, "", "  ")
 	if err == nil {
 		err = writeFileAtomic(filepath.Join(j.dir, manifestFile), data)
@@ -170,16 +189,20 @@ func (s *Server) recoverJobs() (requeue []*Job, maxSeq int, err error) {
 		}
 	}
 	sort.Strings(names)
+	skipped := s.reg.Counter("serve.manifests_skipped")
 	for _, name := range names {
 		dir := filepath.Join(root, name)
-		data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+		path := filepath.Join(dir, manifestFile)
+		data, err := os.ReadFile(path)
 		if err != nil {
-			s.logf("serve: recovery: %s: no readable manifest, skipping: %v", name, err)
+			s.logf("serve: recovery: skipping %s: unreadable manifest: %v", path, err)
+			skipped.Inc()
 			continue
 		}
 		var m manifest
-		if err := json.Unmarshal(data, &m); err != nil || m.ID != name || !m.State.valid() {
-			s.logf("serve: recovery: %s: corrupt manifest, skipping", name)
+		if reason := decodeManifest(data, name, &m); reason != "" {
+			s.logf("serve: recovery: skipping %s: %s", path, reason)
+			skipped.Inc()
 			continue
 		}
 		if n, err := strconv.Atoi(name[1:]); err == nil && n > maxSeq {
@@ -188,17 +211,42 @@ func (s *Server) recoverJobs() (requeue []*Job, maxSeq int, err error) {
 		j := &Job{ID: m.ID, Request: m.Request, dir: dir, system: m.System}
 		j.created = m.Created
 		j.resumedFrom = m.ResumedFrom
+		j.attempts = m.Attempts
+		if m.NotBefore != nil {
+			j.notBefore = *m.NotBefore
+		}
 		j.err = m.Error
 		switch m.State {
-		case StateDone, StateFailed, StateCancelled:
+		case StateDone, StateFailed, StateCancelled, StateQuarantined:
 			j.state = m.State
 			j.started = m.Started
 			j.finished = m.Finished
 		case StateQueued, StateRunning:
-			// An interrupted run: back to the queue. The worker decides
-			// between resume and fresh start when it finds (or fails to
-			// load) the job's checkpoint.
+			// An interrupted run: the execution that was in flight died with
+			// the process and counts against the attempt budget. A job whose
+			// budget is spent is quarantined here instead of re-queued —
+			// this is what stops a poison job that kills the server from
+			// crash-looping across restarts forever.
+			if m.State == StateRunning {
+				j.attempts++
+			}
+			if j.attempts >= s.cfg.MaxAttempts {
+				j.state = StateQuarantined
+				j.started = m.Started
+				j.finished = time.Now()
+				j.err = quarantineCause(j.attempts, fmt.Errorf("attempt died with the server (last error: %s)", orNone(m.Error)))
+				s.reg.Counter("serve.jobs_quarantined").Inc()
+				s.quarWindow.record(time.Now())
+				s.logf("serve: recovery: job %s quarantined after %d attempts", j.ID, j.attempts)
+				s.persistRecovered(j)
+				break
+			}
+			// Back to the queue. The worker decides between resume and
+			// fresh start when it finds (or fails to load) the checkpoint.
 			j.state = StateQueued
+			if m.State == StateRunning {
+				s.persistRecovered(j) // make the consumed attempt durable
+			}
 			s.reg.Counter("serve.jobs_requeued").Inc()
 			requeue = append(requeue, j)
 		}
@@ -206,4 +254,31 @@ func (s *Server) recoverJobs() (requeue []*Job, maxSeq int, err error) {
 		s.order = append(s.order, j.ID)
 	}
 	return requeue, maxSeq, nil
+}
+
+// decodeManifest validates a recovered manifest, returning a human-readable
+// rejection reason ("" when the manifest is usable).
+func decodeManifest(data []byte, name string, m *manifest) string {
+	if err := json.Unmarshal(data, m); err != nil {
+		return fmt.Sprintf("corrupt manifest: %v", err)
+	}
+	if m.ID != name {
+		return fmt.Sprintf("corrupt manifest: names job %q", m.ID)
+	}
+	if !m.State.valid() {
+		return fmt.Sprintf("corrupt manifest: unknown state %q", m.State)
+	}
+	return ""
+}
+
+// persistRecovered persists a state decision made during recovery. It runs
+// before the fleet/single-node split matters (recovery is single-node only)
+// and before the job is visible, so a plain persist is safe.
+func (s *Server) persistRecovered(j *Job) { s.persist(j) }
+
+func orNone(s string) string {
+	if s == "" {
+		return "none recorded"
+	}
+	return s
 }

@@ -27,13 +27,15 @@ spec=$(cat "$workdir/inst.spec")
 
 fleet="$workdir/fleet"
 
-# boot_node <name> <stdout-file>: start one fleet node in the background.
-# Runs in the current shell (not a subshell) so the caller's `wait` can
-# reap the process and read its exit status; pick up the pid via $!.
+# boot_node <name> <stdout-file> [extra flags...]: start one fleet node in
+# the background. Runs in the current shell (not a subshell) so the
+# caller's `wait` can reap the process and read its exit status; pick up
+# the pid via $!.
 boot_node() {
-    "$workdir/mmserved" -addr 127.0.0.1:0 -fleet-dir "$fleet" -node-id "$1" \
-        -lease-ttl 1s -heartbeat 100ms -workers 2 -checkpoint-every 2 \
-        > "$2" 2> "$2.err" &
+    _name=$1; _out=$2; shift 2
+    "$workdir/mmserved" -addr 127.0.0.1:0 -fleet-dir "$fleet" -node-id "$_name" \
+        -lease-ttl 1s -heartbeat 100ms -workers 2 -checkpoint-every 2 "$@" \
+        > "$_out" 2> "$_out.err" &
 }
 
 await_base() { # await_base <stdout-file> <pid>
@@ -121,6 +123,75 @@ echo "==> SIGTERM drains the survivor cleanly (exit 0)"
 kill -TERM "$node2_pid"
 if wait "$node2_pid"; then node2_pid=""; else
     echo "survivor exited non-zero after SIGTERM"; cat "$workdir/n2.out.err"; exit 1
+fi
+
+# ---------------------------------------------------------------------------
+# Poison-job drill: a crash-looping job must exhaust its attempt budget and
+# land in `quarantined` — while both nodes stay live and a healthy job
+# submitted alongside it completes. Quarantined jobs commit no result
+# document, so the exactly-once check above does not apply to them.
+echo "==> poison-job drill: fresh two-node fleet with failpoints enabled"
+fleet="$workdir/fleet-poison"
+boot_node poison1 "$workdir/p1.out" -failpoints -max-attempts 2 -retry-backoff 200ms
+node1_pid=$!
+boot_node poison2 "$workdir/p2.out" -failpoints -max-attempts 2 -retry-backoff 200ms
+node2_pid=$!
+pbase1=$(await_base "$workdir/p1.out" "$node1_pid")
+pbase2=$(await_base "$workdir/p2.out" "$node2_pid")
+echo "    poison1 $pbase1"
+echo "    poison2 $pbase2"
+
+spec_json=$(printf '%s' "$spec" | python3 -c 'import json,sys; print(json.dumps(sys.stdin.read()))')
+poison=$(curl -sfS -X POST "$pbase1/v1/jobs" \
+    -d "$(printf '{"spec":%s,"seed":9,"failpoint":"panic","ga":{"pop_size":16,"max_generations":50,"stagnation":50}}' "$spec_json")")
+poison_id=$(printf '%s' "$poison" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+good=$(curl -sfS -X POST "$pbase1/v1/jobs" \
+    -d "$(printf '{"spec":%s,"seed":10,"ga":{"pop_size":16,"max_generations":50,"stagnation":50}}' "$spec_json")")
+good_id=$(printf '%s' "$good" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$poison_id" ] && [ -n "$good_id" ] || { echo "poison drill submissions failed"; exit 1; }
+echo "    poison $poison_id, healthy $good_id"
+
+echo "==> the crash-looper reaches quarantined within its budget"
+state=queued
+for _ in $(seq 300); do
+    state=$(curl -sfS "$pbase2/v1/jobs/$poison_id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    [ "$state" = quarantined ] && break
+    case "$state" in done|failed|cancelled) echo "poison job ended $state, want quarantined"; exit 1 ;; esac
+    sleep 0.1
+done
+[ "$state" = quarantined ] || { echo "poison job stuck in state $state"; exit 1; }
+curl -sfS "$pbase2/v1/jobs/$poison_id" | grep -q '"attempts": *2' || {
+    echo "quarantined job does not report the exhausted budget of 2"; exit 1; }
+
+echo "==> both nodes survived the poison"
+kill -0 "$node1_pid" || { echo "poison1 died"; cat "$workdir/p1.out.err"; exit 1; }
+kill -0 "$node2_pid" || { echo "poison2 died"; cat "$workdir/p2.out.err"; exit 1; }
+
+echo "==> the healthy job still completes, certified"
+state=queued
+for _ in $(seq 1200); do
+    state=$(curl -sfS "$pbase1/v1/jobs/$good_id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    [ "$state" = done ] && break
+    case "$state" in failed|cancelled|quarantined) echo "healthy job ended $state"; exit 1 ;; esac
+    sleep 0.1
+done
+[ "$state" = done ] || { echo "healthy job stuck in state $state"; exit 1; }
+curl -sfS "$pbase1/v1/jobs/$good_id/result" | grep -q '"certified": true' || {
+    echo "healthy job finished uncertified"; exit 1; }
+
+echo "==> quarantine is counted and degrades readiness on the node that decided"
+q1=$(curl -sfS "$pbase1/metrics" | sed -n 's/.*"serve.jobs_quarantined": *\([0-9]*\).*/\1/p')
+q2=$(curl -sfS "$pbase2/metrics" | sed -n 's/.*"serve.jobs_quarantined": *\([0-9]*\).*/\1/p')
+[ $(( ${q1:-0} + ${q2:-0} )) -eq 1 ] || {
+    echo "serve.jobs_quarantined across nodes = ${q1:-0}+${q2:-0}, want 1"; exit 1; }
+
+echo "==> drain the poison fleet cleanly"
+kill -TERM "$node1_pid" "$node2_pid"
+if wait "$node1_pid"; then node1_pid=""; else
+    echo "poison1 exited non-zero after SIGTERM"; cat "$workdir/p1.out.err"; exit 1
+fi
+if wait "$node2_pid"; then node2_pid=""; else
+    echo "poison2 exited non-zero after SIGTERM"; cat "$workdir/p2.out.err"; exit 1
 fi
 
 echo "==> fleet chaos smoke OK"
