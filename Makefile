@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz-smoke trace-smoke serve-smoke fleet-smoke certify bench ci
+.PHONY: all build test race vet lint bench-pins fuzz-smoke trace-smoke serve-smoke fleet-smoke certify bench ci
 
 all: build
 
@@ -18,10 +18,21 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Domain invariant checkers (determinism, cancellation, numeric safety);
-# see docs/LINT.md. Exit 1 means findings, exit 2 usage/load error.
+# Domain invariant checkers (determinism, cancellation, numeric safety,
+# hot-path allocations, lock discipline, rename durability); see
+# docs/LINT.md. Exit 1 means findings, exit 2 usage/load error. The first
+# run covers the whole module including cmd/; the second names the
+# analyzer framework explicitly so mmlint keeps linting itself even if
+# the module-wide pattern is ever narrowed.
 lint:
 	$(GO) run ./cmd/mmlint ./...
+	$(GO) run ./cmd/mmlint ./internal/lint/...
+
+# Allocation pins: every //mm:noalloc function must run with
+# testing.AllocsPerRun == 0, with 1:1 coverage between annotations and
+# pins (see internal/allocpin and docs/LINT.md).
+bench-pins:
+	$(GO) test -run TestAllocPins -count=1 ./internal/sched ./internal/synth ./internal/dvs ./internal/ga ./internal/allocpin
 
 # Short native-fuzzing bursts over the untrusted-input readers (spec files
 # and checkpoints); the minimiser is capped so large seed-corpus entries

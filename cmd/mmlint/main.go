@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mmlint [-only name,name] [-list] [packages...]
+//	mmlint [-only name,name] [-list] [-json] [packages...]
 //
 // With no package patterns it analyzes ./... . Exit codes follow the lint
 // convention: 0 when clean, 1 when findings were reported, 2 on usage or
@@ -11,26 +11,40 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"momosyn/internal/lint"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// jsonFinding is the machine-readable rendering of one diagnostic, emitted
+// as one element of a JSON array under -json.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mmlint [-only name,name] [-list] [packages...]\n")
+		fmt.Fprintf(stderr, "usage: mmlint [-only name,name] [-list] [-json] [packages...]\n")
 		fs.PrintDefaults()
 	}
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
-	if err := fs.Parse(os.Args[1:]); err != nil {
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
@@ -39,32 +53,51 @@ func run() int {
 		var err error
 		analyzers, err = lint.ByName(*only)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mmlint: %v\n", err)
+			fmt.Fprintf(stderr, "mmlint: %v\n", err)
 			return 2
 		}
 	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 
 	pkgs, err := lint.Load(".", fs.Args()...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mmlint: %v\n", err)
+		fmt.Fprintf(stderr, "mmlint: %v\n", err)
 		return 2
 	}
 	diags, err := lint.Run(pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mmlint: %v\n", err)
+		fmt.Fprintf(stderr, "mmlint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d.String())
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Column:  d.Pos.Column,
+				Pass:    d.Analyzer,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "mmlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mmlint: %d finding(s)\n", len(diags))
+		fmt.Fprintf(stderr, "mmlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const (
+	hotallocFixture  = "../../internal/lint/testdata/src/hotalloc"
+	fsyncdiscFixture = "../../internal/lint/testdata/src/fsyncdisc"
+)
+
+// TestExitCodes pins the mmlint exit-code contract: 0 clean, 1 findings,
+// 2 usage or load errors.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"list mode", []string{"-list"}, 0},
+		// detrand's package gate excludes testdata, so the run is clean.
+		{"clean run", []string{"-only", "detrand", hotallocFixture}, 0},
+		{"findings", []string{"-only", "hotalloc", hotallocFixture}, 1},
+		// Two passes over two packages, each contributing findings.
+		{"multi-pass mixed", []string{"-only", "hotalloc,fsyncdisc", hotallocFixture, fsyncdiscFixture}, 1},
+		{"unknown analyzer", []string{"-only", "nosuch"}, 2},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"bad pattern", []string{"./no/such/dir"}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(c.args, &stdout, &stderr); got != c.want {
+				t.Errorf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					c.args, got, c.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestMultiPassFindingsInterleave proves one invocation can carry findings
+// from several passes: the mixed run must report both hotalloc and
+// fsyncdisc diagnostics.
+func TestMultiPassFindingsInterleave(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-only", "hotalloc,fsyncdisc", hotallocFixture, fsyncdiscFixture}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, pass := range []string{"[hotalloc]", "[fsyncdisc]"} {
+		if !strings.Contains(out, pass) {
+			t.Errorf("mixed run output missing %s findings:\n%s", pass, out)
+		}
+	}
+}
+
+// TestJSONOutput pins the -json findings schema: file, line, column, pass,
+// message per finding; an empty array on a clean run.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-json", "-only", "hotalloc,fsyncdisc", hotallocFixture, fsyncdiscFixture}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", got, stderr.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json reported no findings for fixtures full of them")
+	}
+	passes := map[string]bool{}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Pass == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		passes[f.Pass] = true
+	}
+	if !passes["hotalloc"] || !passes["fsyncdisc"] {
+		t.Errorf("JSON findings cover passes %v, want both hotalloc and fsyncdisc", passes)
+	}
+
+	// A clean run still emits valid JSON: the empty array.
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-json", "-only", "detrand", hotallocFixture}, &stdout, &stderr); got != 0 {
+		t.Fatalf("clean -json exit = %d, want 0; stderr:\n%s", got, stderr.String())
+	}
+	var empty []jsonFinding
+	if err := json.Unmarshal(stdout.Bytes(), &empty); err != nil || len(empty) != 0 {
+		t.Fatalf("clean -json output = %q, want []", stdout.String())
+	}
+}

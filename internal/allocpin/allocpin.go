@@ -1,0 +1,130 @@
+// Package allocpin enforces the //mm:noalloc contract at run time. The
+// mmlint hotalloc analyzer proves the absence of obvious allocation sites
+// statically; allocpin closes the loop dynamically: every annotated
+// function in a package must be exercised by a pin whose
+// testing.AllocsPerRun is exactly zero, and every pin must point back at
+// an annotated function, so annotations and pins cannot drift apart.
+package allocpin
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var noallocRe = regexp.MustCompile(`^//\s*mm:noalloc\b`)
+
+// Pin couples the canonical name of a //mm:noalloc function ("Func" or
+// "Recv.Method") with a body exercising it on realistic inputs.
+type Pin struct {
+	Name string
+	Body func()
+}
+
+// Annotated returns the canonical names of all //mm:noalloc functions
+// declared in the non-test Go files of dir, sorted.
+func Annotated(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("allocpin: reading %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("allocpin: parsing %s: %v", name, err)
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if noallocRe.MatchString(c.Text) {
+					names = append(names, canonicalName(fd))
+					break
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// canonicalName renders a FuncDecl as "Func" or "Recv.Method" (pointer
+// receivers lose the star: *Mobility and Mobility pin under one name).
+func canonicalName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	typ := fd.Recv.List[0].Type
+	if st, ok := typ.(*ast.StarExpr); ok {
+		typ = st.X
+	}
+	if ix, ok := typ.(*ast.IndexExpr); ok { // generic receiver
+		typ = ix.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// coverage diffs the annotated set against the pin set: missing holds
+// annotated functions without a pin, stale holds pins whose function is no
+// longer annotated (or pinned twice).
+func coverage(annotated []string, pins []Pin) (missing, stale []string) {
+	have := make(map[string]int, len(annotated))
+	for _, n := range annotated {
+		have[n]++
+	}
+	for _, p := range pins {
+		if have[p.Name] > 0 {
+			have[p.Name]--
+		} else {
+			stale = append(stale, p.Name)
+		}
+	}
+	for n, c := range have {
+		if c > 0 {
+			missing = append(missing, n)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	return missing, stale
+}
+
+// Verify checks the 1:1 coverage between the //mm:noalloc annotations in
+// dir and the pins, then proves each pin body allocates nothing. Call it
+// from an in-package test so unexported functions are reachable.
+func Verify(t *testing.T, dir string, pins []Pin) {
+	t.Helper()
+	annotated := Annotated(t, dir)
+	missing, stale := coverage(annotated, pins)
+	for _, n := range missing {
+		t.Errorf("allocpin: %s is annotated //mm:noalloc but has no pin", n)
+	}
+	for _, n := range stale {
+		t.Errorf("allocpin: pin %q matches no //mm:noalloc function (removed annotation, renamed function, or duplicate pin)", n)
+	}
+	for _, p := range pins {
+		t.Run(p.Name, func(t *testing.T) {
+			if avg := testing.AllocsPerRun(100, p.Body); avg != 0 {
+				t.Errorf("%s allocates %.1f times per run; //mm:noalloc requires 0", p.Name, avg)
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package allocpin
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAnnotatedParsesDeclarations pins the source-scanning half: doc
+// comments on functions and methods count, other comments do not, and
+// _test.go files are ignored.
+func TestAnnotatedParsesDeclarations(t *testing.T) {
+	dir := t.TempDir()
+	src := `package sample
+
+// Plain is annotated.
+//
+//mm:noalloc
+func Plain() {}
+
+// ptrMethod is annotated through a pointer receiver.
+//
+//mm:noalloc
+func (v *Vec) Scale(f float64) {}
+
+type Vec struct{ X float64 }
+
+//mm:noalloc
+func (v Vec) Len() float64 { return v.X }
+
+// unannotated mentions mm:noalloc only in prose, not as a directive line.
+func unannotated() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "sample.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	testSrc := "package sample\n\n//mm:noalloc\nfunc fromTestFile() {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "sample_test.go"), []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := Annotated(t, dir)
+	want := []string{"Plain", "Vec.Len", "Vec.Scale"}
+	if len(got) != len(want) {
+		t.Fatalf("Annotated = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Annotated = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCoverageDiff pins the 1:1 matching: a missing pin, a stale pin and a
+// duplicate pin are all reported.
+func TestCoverageDiff(t *testing.T) {
+	annotated := []string{"A", "B"}
+	pins := []Pin{
+		{Name: "A", Body: func() {}},
+		{Name: "A", Body: func() {}}, // duplicate: second one is stale
+		{Name: "C", Body: func() {}}, // stale: not annotated
+	}
+	missing, stale := coverage(annotated, pins)
+	if len(missing) != 1 || missing[0] != "B" {
+		t.Errorf("missing = %v, want [B]", missing)
+	}
+	if len(stale) != 2 || stale[0] != "A" || stale[1] != "C" {
+		t.Errorf("stale = %v, want [A C]", stale)
+	}
+}
+
+// TestVerifyCleanPackage runs the full Verify path against an empty
+// annotated set and an allocation-free pin list.
+func TestVerifyCleanPackage(t *testing.T) {
+	dir := t.TempDir()
+	src := "package sample\n\n//mm:noalloc\nfunc Tiny(a, b int) int { return a + b }\n"
+	if err := os.WriteFile(filepath.Join(dir, "sample.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sink := 0
+	Verify(t, dir, []Pin{{Name: "Tiny", Body: func() { sink += 1 }}})
+	_ = sink
+}

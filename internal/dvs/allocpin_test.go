@@ -1,0 +1,41 @@
+package dvs
+
+import (
+	"testing"
+
+	"momosyn/internal/allocpin"
+	"momosyn/internal/sched"
+)
+
+// Sinks defeat dead-code elimination of the measured calls.
+var (
+	sinkF float64
+	sinkI int
+	sinkB bool
+)
+
+// TestAllocPins proves every //mm:noalloc function in this package runs
+// with zero allocations on realistic inputs (see internal/allocpin).
+func TestAllocPins(t *testing.T) {
+	sys := dvsSystem(t, 0.1)
+	sc, err := sched.ListSchedule(sys, 0, mapAll(sys, 0), sched.SingleCores{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildGraph(sys, sc, Config{})
+	if g == nil {
+		t.Fatal("constraint graph must have scalable nodes")
+	}
+	seg := Segment{Start: 1e-3, End: 4e-3}
+	pe := sys.Arch.PEs[0]
+
+	allocpin.Verify(t, ".", []allocpin.Pin{
+		{Name: "Segment.Duration", Body: func() { sinkF = seg.Duration() }},
+		{Name: "maxLevel", Body: func() { sinkI = maxLevel(pe) }},
+		{Name: "timestamp", Body: func() { timestamp(g) }},
+		// The first run performs all voltage moves; later runs verify the
+		// fixed point is allocation-free too. AllocsPerRun's warm-up run
+		// absorbs nothing here because greedyScale never allocates.
+		{Name: "greedyScale", Body: func() { sinkB = greedyScale(g) }},
+	})
+}

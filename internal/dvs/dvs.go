@@ -31,6 +31,8 @@ type Segment struct {
 }
 
 // Duration returns the nominal length of the segment.
+//
+//mm:noalloc
 func (s Segment) Duration() float64 { return s.End - s.Start }
 
 // Transform folds the (possibly parallel) executions of the given task
@@ -360,6 +362,10 @@ func buildGraph(s *model.System, sc *sched.Schedule, cfg Config) *graph {
 	return g
 }
 
+// maxLevel returns the top voltage-level index of the PE, or -1 when the
+// PE does not support DVS.
+//
+//mm:noalloc
 func maxLevel(pe *model.PE) int {
 	if !pe.DVS {
 		return -1
@@ -408,6 +414,8 @@ func topoSort(g *graph) bool {
 
 // timestamp runs the forward (earliest start/finish) and backward (latest
 // finish) passes over the current durations.
+//
+//mm:noalloc
 func timestamp(g *graph) {
 	for _, v := range g.order {
 		nd := &g.nodes[v]
@@ -436,6 +444,8 @@ func timestamp(g *graph) {
 
 // greedyScale repeatedly applies the single voltage-step move with the
 // best energy-saving per added delay until no feasible move remains.
+//
+//mm:noalloc
 func greedyScale(g *graph) bool {
 	changed := false
 	for {

@@ -487,6 +487,8 @@ func (e *engine) rankWeights() []float64 {
 // selectParent runs a tournament over rank weights: draw TournamentSize
 // individuals, keep the one with the highest selection weight (= best
 // rank).
+//
+//mm:noalloc
 func (e *engine) selectParent(weights []float64) int {
 	best := e.rng.Intn(len(e.pop))
 	for k := 1; k < e.cfg.TournamentSize; k++ {
@@ -515,6 +517,9 @@ func (e *engine) crossover(a, b []int) []int {
 	return child
 }
 
+// mutate re-draws each gene with probability MutationRate, in place.
+//
+//mm:noalloc
 func (e *engine) mutate(g []int) {
 	for i := range g {
 		if e.rng.Float64() < e.cfg.MutationRate {

@@ -6,7 +6,7 @@
 // the standard library (go/parser, go/types and `go list -export`), so the
 // module keeps its zero-dependency property.
 //
-// The five analyzers encode rules that previously lived in comments and
+// The analyzers encode rules that previously lived in comments and
 // reviewer memory:
 //
 //   - detrand:     no global math/rand streams or wall-clock-seeded sources
@@ -18,6 +18,14 @@
 //   - guardgo:     goroutines in the synthesis layers carry a panic barrier
 //   - exhaustenum: switches over domain enums are exhaustive or carry an
 //     explicit default
+//   - hotalloc:    functions annotated //mm:noalloc (the evaluation hot
+//     path) contain no allocation sites, transitively through same-package
+//     calls; reviewed sites carry //mm:alloc-ok <reason>
+//   - locksafe:    mutex discipline in the service layers — no copies,
+//     double-locks, leaked locks on early returns, or locks held across
+//     blocking operations
+//   - fsyncdisc:   atomic-rename writers fsync the file before the rename
+//     and the parent directory after it
 //
 // A finding can be suppressed where it is a reviewed false positive:
 //
@@ -85,7 +93,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Ctxflow, Floateq, Guardgo, Exhaustenum}
+	return []*Analyzer{Detrand, Ctxflow, Floateq, Guardgo, Exhaustenum, Hotalloc, Locksafe, Fsyncdisc}
 }
 
 // ByName resolves a comma-separated subset of analyzer names.

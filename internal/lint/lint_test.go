@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"os"
 	"regexp"
 	"strings"
@@ -36,26 +37,9 @@ func runFixture(t *testing.T, a *Analyzer) {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
 
-	var wants []*expectation
-	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
-			name := pkg.Fset.Position(f.Pos()).Filename
-			src, err := os.ReadFile(name)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for i, line := range strings.Split(string(src), "\n") {
-				m := wantRe.FindStringSubmatch(line)
-				if m == nil {
-					continue
-				}
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("%s:%d: bad want regex %q: %v", name, i+1, m[1], err)
-				}
-				wants = append(wants, &expectation{file: name, line: i + 1, re: re})
-			}
-		}
+	wants := collectWants(t, pkgs)
+	if err := checkFixtureHasExpectations(wants); err != nil {
+		t.Fatalf("fixture %s: %v", a.Name, err)
 	}
 
 	for _, d := range diags {
@@ -78,11 +62,67 @@ func runFixture(t *testing.T, a *Analyzer) {
 	}
 }
 
+// collectWants gathers the // want expectations of the loaded fixture.
+func collectWants(t *testing.T, pkgs []*Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			src, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				m := wantRe.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", name, i+1, m[1], err)
+				}
+				wants = append(wants, &expectation{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixtureHasExpectations rejects fixtures with zero // want comments:
+// a dead fixture asserts nothing and silently stops guarding its analyzer.
+func checkFixtureHasExpectations(wants []*expectation) error {
+	if len(wants) == 0 {
+		return fmt.Errorf("fixture contains no // want expectations; a zero-expectation fixture asserts nothing")
+	}
+	return nil
+}
+
 func TestDetrandFixture(t *testing.T)     { runFixture(t, Detrand) }
 func TestCtxflowFixture(t *testing.T)     { runFixture(t, Ctxflow) }
 func TestFloateqFixture(t *testing.T)     { runFixture(t, Floateq) }
 func TestGuardgoFixture(t *testing.T)     { runFixture(t, Guardgo) }
 func TestExhaustenumFixture(t *testing.T) { runFixture(t, Exhaustenum) }
+func TestHotallocFixture(t *testing.T)    { runFixture(t, Hotalloc) }
+func TestLocksafeFixture(t *testing.T)    { runFixture(t, Locksafe) }
+func TestFsyncdiscFixture(t *testing.T)   { runFixture(t, Fsyncdisc) }
+
+// TestZeroExpectationFixtureFails pins the dead-fixture guard: a fixture
+// directory without a single // want comment must be rejected by the
+// driver, not silently pass.
+func TestZeroExpectationFixtureFails(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/deadfixture")
+	if err != nil {
+		t.Fatalf("loading deadfixture: %v", err)
+	}
+	wants := collectWants(t, pkgs)
+	if len(wants) != 0 {
+		t.Fatalf("deadfixture must stay expectation-free, found %d wants", len(wants))
+	}
+	if err := checkFixtureHasExpectations(wants); err == nil {
+		t.Fatal("a zero-expectation fixture must fail the suite")
+	}
+}
 
 // TestPackageGates pins which package trees each analyzer applies to.
 func TestPackageGates(t *testing.T) {
@@ -117,6 +157,11 @@ func TestPackageGates(t *testing.T) {
 		{Guardgo, "momosyn/internal/runctl", false},
 		{Guardgo, "momosyn/cmd/mmsynth", false},
 		{Guardgo, "momosyn/cmd/mmserved", false},
+		{Locksafe, "momosyn/internal/serve", true},
+		{Locksafe, "momosyn/internal/fleet", true},
+		{Locksafe, "momosyn/internal/fleet/chaosfs", true},
+		{Locksafe, "momosyn/internal/sched", false},
+		{Locksafe, "momosyn/internal/lint/testdata/src/locksafe", false},
 	}
 	for _, c := range cases {
 		if got := c.a.Packages.MatchString(c.path); got != c.want {
@@ -125,6 +170,12 @@ func TestPackageGates(t *testing.T) {
 	}
 	if Exhaustenum.Packages != nil {
 		t.Error("exhaustenum should apply module-wide (nil gate)")
+	}
+	if Hotalloc.Packages != nil {
+		t.Error("hotalloc should apply module-wide (nil gate): annotations gate it")
+	}
+	if Fsyncdisc.Packages != nil {
+		t.Error("fsyncdisc should apply module-wide (nil gate): renames gate it")
 	}
 }
 
@@ -163,8 +214,8 @@ func TestAllNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Fatalf("expected 5 analyzers, found %d", len(seen))
+	if len(seen) != 8 {
+		t.Fatalf("expected 8 analyzers, found %d", len(seen))
 	}
 }
 

@@ -1,0 +1,7 @@
+// Package deadfixture deliberately contains no // want expectations. It
+// exists so TestZeroExpectationFixtureFails can prove the driver rejects
+// expectation-free fixtures instead of letting them pass vacuously.
+package deadfixture
+
+// Noop keeps the package non-empty.
+func Noop() {}

@@ -1,0 +1,138 @@
+// Package hotalloc is an analysistest-style fixture for the hotalloc
+// analyzer; want expectations mark the expected findings.
+package hotalloc
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+type boxer interface{ M() }
+
+type small struct{ x int }
+
+func (s small) M() {}
+
+// direct allocates with the make builtin: flagged.
+//
+//mm:noalloc
+func direct() []int {
+	return make([]int, 8) // want "make allocates"
+}
+
+// fresh allocates with the new builtin: flagged.
+//
+//mm:noalloc
+func fresh() *pair {
+	return new(pair) // want "new allocates"
+}
+
+// literals allocates through composite literals: each site flagged.
+//
+//mm:noalloc
+func literals() int {
+	s := []int{1, 2}      // want "slice literal allocates"
+	m := map[string]int{} // want "map literal allocates"
+	p := &pair{a: 1}      // want "composite literal may escape"
+	return len(s) + len(m) + p.a
+}
+
+// push appends without preallocated-cap evidence: flagged.
+//
+//mm:noalloc
+func push(xs []int, v int) []int {
+	return append(xs, v) // want "append without preallocated-cap evidence"
+}
+
+// fill appends into a resliced buffer: the cap evidence is visible, fine.
+//
+//mm:noalloc
+func fill(dst, vals []int) []int {
+	return append(dst[:0], vals...)
+}
+
+// closureCapture builds a closure over locals: the closure allocates when
+// it escapes.
+//
+//mm:noalloc
+func closureCapture(n int) func() int {
+	total := 0
+	f := func() int { // want "closure captures"
+		total += n
+		return total
+	}
+	return f
+}
+
+// box converts a non-pointer concrete to an interface: boxing allocates.
+//
+//mm:noalloc
+func box(s small) boxer {
+	return boxer(s) // want "boxes on the heap"
+}
+
+// join concatenates strings inside a loop: allocates per iteration.
+//
+//mm:noalloc
+func join(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out = out + p // want "string concatenation in a loop"
+	}
+	return out
+}
+
+// report formats inside a loop: fmt boxes and buffers per call.
+//
+//mm:noalloc
+func report(vals []int) {
+	for _, v := range vals {
+		fmt.Println(v) // want "fmt.Println in a loop allocates"
+	}
+}
+
+// root reaches helper through a same-package static call: helper is
+// checked transitively and its finding names the chain.
+//
+//mm:noalloc
+func root(xs []int) int {
+	return helper(xs)
+}
+
+func helper(xs []int) int {
+	buf := make([]int, len(xs)) // want "root -> helper: make allocates"
+	copy(buf, xs)
+	return len(buf)
+}
+
+var scratch []int
+
+// coldPath allocates only on first use; the reasoned waiver keeps it.
+//
+//mm:noalloc
+func coldPath(n int) []int {
+	if n > cap(scratch) {
+		//mm:alloc-ok grows only on first use; steady state reuses scratch
+		return make([]int, n)
+	}
+	return scratch[:n]
+}
+
+// reasonlessWaiver shows a waiver with no reason: the waiver is rejected
+// and the allocation it tried to cover is still reported.
+func reasonlessWaiver() []int {
+	//mm:alloc-ok // want "waiver must state a reason"
+	return alloc4()
+}
+
+//mm:noalloc
+func alloc4() []int {
+	return make([]int, 4) // want "make allocates"
+}
+
+// unannotated is outside every noalloc closure: allocates freely.
+func unannotated() []int {
+	return make([]int, 1)
+}
+
+//mm:noalloc // want "misplaced //mm:noalloc"
+var sink int

@@ -1,0 +1,134 @@
+// Package locksafe is an analysistest-style fixture for the locksafe
+// analyzer; want expectations mark the expected findings.
+package locksafe
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals map[string]int
+	ch   chan int
+}
+
+// copyParam passes the store by value: the mutexes inside are copied.
+func copyParam(s store) int { // want "passes .* by value, copying the mutex"
+	return len(s.vals)
+}
+
+// copyAssign copies a mutex-bearing value out of an existing one.
+func copyAssign(a *store) {
+	b := *a // want "assignment copies a value of type"
+	_ = b.vals
+}
+
+// rangeCopy iterates over mutex-bearing values by value.
+func rangeCopy(stores []store) int {
+	n := 0
+	for _, st := range stores { // want "range variable copies"
+		n += len(st.vals)
+	}
+	return n
+}
+
+// doubleLock locks the same mutex twice on one path: self-deadlock.
+func doubleLock(s *store) {
+	s.mu.Lock()
+	s.mu.Lock() // want "self-deadlock"
+	s.mu.Unlock()
+}
+
+// earlyReturn leaks the lock on the found path.
+func earlyReturn(s *store, key string) int {
+	s.mu.Lock()
+	if v, ok := s.vals[key]; ok {
+		return v // want "return while s.mu is held"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// missingUnlock falls off the end of the function with the lock held.
+func missingUnlock(s *store) {
+	s.mu.Lock() // want "still held when missingUnlock falls off the end"
+	s.vals["x"] = 1
+}
+
+// sleepHeld parks the goroutine while holding the lock.
+func sleepHeld(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu is held"
+}
+
+// sendHeld performs a channel send while holding the lock.
+func sendHeld(s *store, v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+// recvHeld performs a channel receive while holding the read lock.
+func recvHeld(s *store) int {
+	s.rw.RLock()
+	v := <-s.ch // want "channel receive while s.rw is held"
+	s.rw.RUnlock()
+	return v
+}
+
+// selectHeld blocks in a default-less select while holding the lock.
+func selectHeld(s *store) {
+	s.mu.Lock()
+	select { // want "select with no default while s.mu is held"
+	case v := <-s.ch:
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+// lockedGet is the blessed pattern: a deferred unlock brackets the whole
+// critical section, so every return path is covered.
+func lockedGet(s *store, key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[key]
+}
+
+// branchUnlock releases explicitly on every path: fine.
+func branchUnlock(s *store, key string) int {
+	s.mu.Lock()
+	if v, ok := s.vals[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// rlockShared takes the read lock twice: shared readers are allowed.
+func rlockShared(s *store) int {
+	s.rw.RLock()
+	s.rw.RLock()
+	n := len(s.vals)
+	s.rw.RUnlock()
+	s.rw.RUnlock()
+	return n
+}
+
+// intentionalHold hands the lock to its caller by design; the reviewed
+// suppression records the decision.
+func intentionalHold(s *store) {
+	s.mu.Lock()
+	//mmlint:ignore locksafe caller releases via unlockStore
+	return
+}
+
+// unlockStore releases a lock acquired by intentionalHold. Unlocking a
+// mutex this function never locked is deliberately not a finding: lock
+// ownership can legitimately cross function boundaries in one direction.
+func unlockStore(s *store) {
+	s.mu.Unlock()
+}

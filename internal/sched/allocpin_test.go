@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"testing"
+
+	"momosyn/internal/allocpin"
+)
+
+// Sinks defeat dead-code elimination of the measured calls.
+var (
+	sinkF float64
+	sinkB bool
+)
+
+// TestAllocPins proves every //mm:noalloc function in this package runs
+// with zero allocations on realistic inputs (see internal/allocpin).
+func TestAllocPins(t *testing.T) {
+	sys := twoPESystem(t)
+	mapping := allTo(sys, 0)
+	mapping[0][1] = 1 // t1 on hw: comm paths cross the bus
+	mode := sys.App.Mode(0)
+	g := mode.Graph
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mob, err := ComputeMobility(sys, 0, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossEdge := g.Edge(0) // t0 -> t1 spans cpu -> hw
+
+	// A finished schedule for the read-only pins.
+	done, err := ListSchedule(sys, 0, mapping, SingleCores{}, mob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := scheduleCost(sys, done)
+	c2 := c1
+	c2.energy++
+
+	// A mutable scratch schedule for the scheduling-step pins. Seeding it
+	// via listSchedule fills every predecessor slot scheduleTask reads.
+	scratch, _, err := listSchedule(sys, 0, mapping, SingleCores{}, mob, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &resourceState{
+		peFree:   make([]float64, len(sys.Arch.PEs)),
+		coreFree: make(map[coreKey][]float64),
+		clFree:   make([]float64, len(sys.Arch.CLs)),
+	}
+	prepCorePools(sys, mode, SingleCores{}, rs)
+
+	allocpin.Verify(t, ".", []allocpin.Pin{
+		{Name: "Mobility.Slack", Body: func() { sinkF = mob.Slack(1) }},
+		{Name: "Mobility.fill", Body: func() { mob.fill(sys, mode, 0, mapping, order) }},
+		{Name: "commBound", Body: func() { sinkF = commBound(sys, crossEdge, 0, 1, mode.Period) }},
+		{Name: "execTime", Body: func() { sinkF = execTime(sys, mode, 0, 0) }},
+		{Name: "unroutablePenalty", Body: func() { sinkF = unroutablePenalty(mode.Period) }},
+		{Name: "scheduleTask", Body: func() { scheduleTask(sys, mode, mapping[0], rs, scratch, 3) }},
+		{Name: "scheduleComm", Body: func() { sinkF = scheduleComm(sys, mode, mapping[0], rs, scratch, crossEdge) }},
+		{Name: "Schedule.Lateness", Body: func() { sinkF = done.Lateness(sys) }},
+		{Name: "Schedule.DynamicEnergy", Body: func() { sinkF = done.DynamicEnergy() }},
+		{Name: "scheduleCost", Body: func() { c1 = scheduleCost(sys, done) }},
+		{Name: "cost.less", Body: func() { sinkB = c1.less(c2) }},
+	})
+}

@@ -75,6 +75,8 @@ type Schedule struct {
 
 // Lateness returns the summed deadline violation over all tasks of the
 // schedule: sum over tasks of max(0, finish - min(deadline, period)).
+//
+//mm:noalloc
 func (sc *Schedule) Lateness(s *model.System) float64 {
 	mode := s.App.Mode(sc.Mode)
 	late := 0.0
@@ -95,6 +97,8 @@ func (sc *Schedule) Feasible(s *model.System) bool {
 
 // DynamicEnergy sums the dynamic energy of all activities under the current
 // voltage selection.
+//
+//mm:noalloc
 func (sc *Schedule) DynamicEnergy() float64 {
 	e := 0.0
 	for i := range sc.Tasks {
@@ -175,6 +179,7 @@ func listSchedule(s *model.System, modeID model.ModeID, mapping model.Mapping, c
 		clFree:   make([]float64, len(s.Arch.CLs)),
 		timed:    timed,
 	}
+	prepCorePools(s, mode, cores, rs)
 
 	indeg := make([]int, n)
 	for _, e := range g.Edges {
@@ -209,7 +214,7 @@ func listSchedule(s *model.System, modeID model.ModeID, mapping model.Mapping, c
 		})
 		t := ready[0]
 		ready = ready[1:]
-		scheduleTask(s, mode, mapping[modeID], cores, rs, sc, t)
+		scheduleTask(s, mode, mapping[modeID], rs, sc, t)
 		scheduled[t] = true
 		for _, eid := range g.Out(t) {
 			d := g.Edge(eid).Dst
@@ -222,9 +227,34 @@ func listSchedule(s *model.System, modeID model.ModeID, mapping model.Mapping, c
 	return sc, rs.commTime, nil
 }
 
+// prepCorePools presizes the per-(PE, type) core-instance pools for every
+// hardware PE and task type the mode contains, so the scheduling loop never
+// has to grow the map or allocate a pool mid-flight.
+func prepCorePools(s *model.System, mode *model.Mode, cores CoreProvider, rs *resourceState) {
+	for _, pe := range s.Arch.PEs {
+		if !pe.Class.IsHardware() {
+			continue
+		}
+		for _, task := range mode.Graph.Tasks {
+			key := coreKey{pe.ID, task.Type}
+			if _, ok := rs.coreFree[key]; ok {
+				continue
+			}
+			cnt := cores.Instances(mode.ID, pe.ID, task.Type)
+			if cnt < 1 {
+				cnt = 1
+			}
+			rs.coreFree[key] = make([]float64, cnt)
+		}
+	}
+}
+
 // scheduleTask places one task (and its incoming communications) onto the
-// architecture. All predecessors are already scheduled.
-func scheduleTask(s *model.System, mode *model.Mode, mapRow []model.PEID, cores CoreProvider, rs *resourceState, sc *Schedule, t model.TaskID) {
+// architecture. All predecessors are already scheduled; the core pools are
+// presized by prepCorePools.
+//
+//mm:noalloc
+func scheduleTask(s *model.System, mode *model.Mode, mapRow []model.PEID, rs *resourceState, sc *Schedule, t model.TaskID) {
 	g := mode.Graph
 	task := g.Task(t)
 	pe := s.Arch.PE(mapRow[t])
@@ -254,16 +284,7 @@ func scheduleTask(s *model.System, mode *model.Mode, mapRow []model.PEID, cores 
 	var start float64
 	core := -1
 	if pe.Class.IsHardware() {
-		key := coreKey{pe.ID, task.Type}
-		inst := rs.coreFree[key]
-		if inst == nil {
-			cnt := cores.Instances(mode.ID, pe.ID, task.Type)
-			if cnt < 1 {
-				cnt = 1
-			}
-			inst = make([]float64, cnt)
-			rs.coreFree[key] = inst
-		}
+		inst := rs.coreFree[coreKey{pe.ID, task.Type}]
 		core = 0
 		for i := 1; i < len(inst); i++ {
 			if inst[i] < inst[core] {
@@ -298,6 +319,8 @@ func scheduleTask(s *model.System, mode *model.Mode, mapRow []model.PEID, cores 
 
 // scheduleComm places the message of edge e and returns its arrival time at
 // the destination PE.
+//
+//mm:noalloc
 func scheduleComm(s *model.System, mode *model.Mode, mapRow []model.PEID, rs *resourceState, sc *Schedule, e *model.Edge) float64 {
 	srcSlot := &sc.Tasks[e.Src]
 	srcPE, dstPE := mapRow[e.Src], mapRow[e.Dst]
@@ -309,8 +332,24 @@ func scheduleComm(s *model.System, mode *model.Mode, mapRow []model.PEID, rs *re
 		sc.Comms[e.ID] = slot
 		return slot.Finish
 	}
-	links := s.Arch.LinksBetween(srcPE, dstPE)
-	if len(links) == 0 {
+	// Greedy communication mapping over an inline link scan (LinksBetween
+	// would allocate an ID slice per edge): the connecting CL with the
+	// earliest arrival wins; ties go to the lower CL ID for determinism
+	// (ascending scan, strict <).
+	bestCL := model.NoCL
+	bestStart, bestFinish := 0.0, math.Inf(1)
+	var bestTime float64
+	for _, cand := range s.Arch.CLs {
+		if !cand.Connects(srcPE, dstPE) {
+			continue
+		}
+		ct := energy.CommTime(e.Bytes, cand)
+		st := math.Max(srcSlot.Finish, rs.clFree[cand.ID])
+		if f := st + ct; f < bestFinish {
+			bestCL, bestStart, bestFinish, bestTime = cand.ID, st, f, ct
+		}
+	}
+	if bestCL == model.NoCL {
 		slot.Routed = false
 		slot.Start = srcSlot.Finish
 		slot.Time = unroutablePenalty(mode.Period)
@@ -321,19 +360,6 @@ func scheduleComm(s *model.System, mode *model.Mode, mapRow []model.PEID, rs *re
 			sc.Makespan = slot.Finish
 		}
 		return slot.Finish
-	}
-	// Greedy communication mapping: the connecting CL with the earliest
-	// arrival wins; ties go to the lower CL ID for determinism.
-	bestCL := model.NoCL
-	bestStart, bestFinish := 0.0, math.Inf(1)
-	var bestTime float64
-	for _, cid := range links {
-		cl := s.Arch.CL(cid)
-		ct := energy.CommTime(e.Bytes, cl)
-		st := math.Max(srcSlot.Finish, rs.clFree[cid])
-		if f := st + ct; f < bestFinish {
-			bestCL, bestStart, bestFinish, bestTime = cid, st, f, ct
-		}
 	}
 	cl := s.Arch.CL(bestCL)
 	rs.clFree[bestCL] = bestFinish

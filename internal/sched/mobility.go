@@ -22,26 +22,33 @@ type Mobility struct {
 }
 
 // Slack returns ALAP-ASAP of the task; small values identify urgent tasks.
+//
+//mm:noalloc
 func (m *Mobility) Slack(t model.TaskID) float64 { return m.ALAP[t] - m.ASAP[t] }
 
 // commBound returns the infinite-resource communication delay of an edge:
 // zero when both endpoints share a PE, otherwise the fastest connecting
 // link's transfer time. Unroutable edges get a large finite delay so the
-// analysis stays total; the scheduler reports them as infeasible.
+// analysis stays total; the scheduler reports them as infeasible. The link
+// scan is inlined rather than calling Arch.LinksBetween so the per-edge
+// analysis never allocates an ID slice.
+//
+//mm:noalloc
 func commBound(s *model.System, e *model.Edge, srcPE, dstPE model.PEID, period float64) float64 {
 	if srcPE == dstPE {
 		return 0
 	}
-	links := s.Arch.LinksBetween(srcPE, dstPE)
-	if len(links) == 0 {
-		return unroutablePenalty(period)
-	}
 	best := math.Inf(1)
-	for _, cid := range links {
-		t := energy.CommTime(e.Bytes, s.Arch.CL(cid))
-		if t < best {
+	for _, cl := range s.Arch.CLs {
+		if !cl.Connects(srcPE, dstPE) {
+			continue
+		}
+		if t := energy.CommTime(e.Bytes, cl); t < best {
 			best = t
 		}
+	}
+	if math.IsInf(best, 1) {
+		return unroutablePenalty(period)
 	}
 	return best
 }
@@ -49,9 +56,13 @@ func commBound(s *model.System, e *model.Edge, srcPE, dstPE model.PEID, period f
 // unroutablePenalty is the surrogate delay charged for a communication
 // between unconnected PEs; it is large relative to the mode period so such
 // mappings score badly but remain comparable.
+//
+//mm:noalloc
 func unroutablePenalty(period float64) float64 { return 10 * period }
 
 // execTime returns the nominal execution time of the task on its mapped PE.
+//
+//mm:noalloc
 func execTime(s *model.System, mode *model.Mode, t model.TaskID, pe model.PEID) float64 {
 	task := mode.Graph.Task(t)
 	im, ok := s.Lib.Type(task.Type).ImplOn(pe)
@@ -79,8 +90,19 @@ func ComputeMobility(s *model.System, modeID model.ModeID, mapping model.Mapping
 		ALAP: make([]float64, n),
 		Exec: make([]float64, n),
 	}
+	mob.fill(s, mode, modeID, mapping, order)
+	return mob, nil
+}
+
+// fill runs the ASAP and ALAP passes into the presized buffers of m. Split
+// from ComputeMobility so everything after buffer setup is provably
+// allocation-free.
+//
+//mm:noalloc
+func (m *Mobility) fill(s *model.System, mode *model.Mode, modeID model.ModeID, mapping model.Mapping, order []model.TaskID) {
+	g := mode.Graph
 	for t := range g.Tasks {
-		mob.Exec[t] = execTime(s, mode, model.TaskID(t), mapping[modeID][t])
+		m.Exec[t] = execTime(s, mode, model.TaskID(t), mapping[modeID][t])
 	}
 	// ASAP forward pass.
 	for _, t := range order {
@@ -88,30 +110,29 @@ func ComputeMobility(s *model.System, modeID model.ModeID, mapping model.Mapping
 		for _, eid := range g.In(t) {
 			e := g.Edge(eid)
 			c := commBound(s, e, mapping[modeID][e.Src], mapping[modeID][e.Dst], mode.Period)
-			if v := mob.ASAP[e.Src] + mob.Exec[e.Src] + c; v > start {
+			if v := m.ASAP[e.Src] + m.Exec[e.Src] + c; v > start {
 				start = v
 			}
 		}
-		mob.ASAP[t] = start
+		m.ASAP[t] = start
 	}
 	// ALAP backward pass.
 	for t := range g.Tasks {
 		task := g.Task(model.TaskID(t))
-		mob.ALAP[t] = task.EffectiveDeadline(mode.Period) - mob.Exec[t]
+		m.ALAP[t] = task.EffectiveDeadline(mode.Period) - m.Exec[t]
 	}
 	for i := len(order) - 1; i >= 0; i-- {
 		t := order[i]
-		latest := mob.ALAP[t]
+		latest := m.ALAP[t]
 		for _, eid := range g.Out(t) {
 			e := g.Edge(eid)
 			c := commBound(s, e, mapping[modeID][e.Src], mapping[modeID][e.Dst], mode.Period)
-			if v := mob.ALAP[e.Dst] - c - mob.Exec[t]; v < latest {
+			if v := m.ALAP[e.Dst] - c - m.Exec[t]; v < latest {
 				latest = v
 			}
 		}
-		mob.ALAP[t] = latest
+		m.ALAP[t] = latest
 	}
-	return mob, nil
 }
 
 // MaxOverlap returns, for the given tasks (with their ASAP/ALAP windows

@@ -65,6 +65,7 @@ type cost struct {
 	lateness, makespan, energy float64
 }
 
+//mm:noalloc
 func scheduleCost(s *model.System, sc *Schedule) cost {
 	return cost{
 		lateness: sc.Lateness(s) + 1e3*float64(sc.Unroutable),
@@ -73,6 +74,7 @@ func scheduleCost(s *model.System, sc *Schedule) cost {
 	}
 }
 
+//mm:noalloc
 func (a cost) less(b cost) bool {
 	const eps = 1e-12
 	if a.lateness < b.lateness-eps {

@@ -22,11 +22,21 @@ func failingJob(spec string, seed int64, failpoint string) serve.JobRequest {
 }
 
 // startServer builds and starts a server whose workers stop at test end.
+// Cleanup drains the pool rather than just cancelling: a worker still
+// persisting a job after the test returns would race the TempDir removal
+// and log into a completed test.
 func startServer(t *testing.T, cfg serve.Config) (*serve.Server, *api) {
 	t.Helper()
 	s := newServer(t, cfg)
 	ctx, cancel := context.WithCancel(context.Background())
-	t.Cleanup(cancel)
+	t.Cleanup(func() {
+		cancel()
+		dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer dcancel()
+		if err := s.Shutdown(dctx); err != nil {
+			t.Errorf("draining server at test end: %v", err)
+		}
+	})
 	s.Start(ctx)
 	return s, newAPI(t, s)
 }

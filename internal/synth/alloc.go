@@ -38,6 +38,8 @@ type Allocation struct {
 var _ sched.CoreProvider = (*Allocation)(nil)
 
 // Instances implements sched.CoreProvider.
+//
+//mm:noalloc
 func (a *Allocation) Instances(mode model.ModeID, pe model.PEID, tt model.TaskTypeID) int {
 	return a.inst[mode][coreKey{pe, tt}]
 }
@@ -178,6 +180,8 @@ func allocateFPGA(s *model.System, mapping model.Mapping, mob []*sched.Mobility,
 }
 
 // capDemand limits every type's demand to the single mandatory core.
+//
+//mm:noalloc
 func capDemand(demand map[model.TaskTypeID]int) {
 	for tt := range demand {
 		demand[tt] = 1
@@ -185,6 +189,8 @@ func capDemand(demand map[model.TaskTypeID]int) {
 }
 
 // usedMandatory returns the area of the mandatory (one-per-type) cores.
+//
+//mm:noalloc
 func usedMandatory(s *model.System, demand map[model.TaskTypeID]int, pe *model.PE) int {
 	used := 0
 	for tt := range demand {
@@ -248,6 +254,8 @@ func fillArea(s *model.System, demand map[model.TaskTypeID]int, pe *model.PE) (m
 // transition: the maximum over all FPGAs of (cores swapped in) times the
 // per-core reconfiguration time. ASIC allocations are static and never
 // contribute (paper section 2.2).
+//
+//mm:noalloc
 func (a *Allocation) TransitionTime(s *model.System, tr model.Transition) float64 {
 	worst := 0.0
 	for _, pe := range s.Arch.PEs {

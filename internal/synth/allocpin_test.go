@@ -1,0 +1,63 @@
+package synth
+
+import (
+	"testing"
+
+	"momosyn/internal/allocpin"
+	"momosyn/internal/model"
+	"momosyn/internal/sched"
+)
+
+// Sinks defeat dead-code elimination of the measured calls.
+var (
+	sinkU64 uint64
+	sinkF   float64
+	sinkB   bool
+	sinkI   int
+)
+
+// TestAllocPins proves every //mm:noalloc function in this package runs
+// with zero allocations on realistic inputs (see internal/allocpin).
+func TestAllocPins(t *testing.T) {
+	sys := testSystem(t)
+	mapping := model.NewMapping(sys.App)
+	for mi := range mapping {
+		for ti := range mapping[mi] {
+			mapping[mi][ti] = 0
+		}
+	}
+	mapping[0][0] = 1 // shared task on hw in mode 0: cross-PE traffic
+
+	nModes := len(sys.App.Modes)
+	mob := make([]*sched.Mobility, nModes)
+	for m := 0; m < nModes; m++ {
+		mm, err := sched.ComputeMobility(sys, model.ModeID(m), mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mob[m] = mm
+	}
+	alloc := AllocateCoresWith(sys, mapping, mob, false)
+
+	e := NewEvaluator(sys, false)
+	ev, err := e.Evaluate(mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sys.App.Transitions[0]
+	demand := map[model.TaskTypeID]int{0: 3, 2: 2}
+	hwPE := sys.Arch.PEs[1]
+
+	allocpin.Verify(t, ".", []allocpin.Pin{
+		{Name: "mappingHash", Body: func() { sinkU64 = mappingHash(mapping, 1) }},
+		{Name: "Evaluator.penalties", Body: func() { e.penalties(ev) }},
+		{Name: "Evaluator.prob", Body: func() { sinkF = e.prob(1) }},
+		{Name: "Evaluation.Feasible", Body: func() { sinkB = ev.Feasible() }},
+		{Name: "Evaluation.Reweighted", Body: func() { sinkF = ev.Reweighted(sys, nil) }},
+		{Name: "PowerUpperBound", Body: func() { sinkF = PowerUpperBound(sys) }},
+		{Name: "Allocation.Instances", Body: func() { sinkI = alloc.Instances(0, hwPE.ID, 0) }},
+		{Name: "Allocation.TransitionTime", Body: func() { sinkF = alloc.TransitionTime(sys, tr) }},
+		{Name: "capDemand", Body: func() { capDemand(demand) }},
+		{Name: "usedMandatory", Body: func() { sinkI = usedMandatory(sys, demand, hwPE) }},
+	})
+}

@@ -2,7 +2,6 @@ package synth
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"time"
 
@@ -13,21 +12,32 @@ import (
 	"momosyn/internal/sched"
 )
 
+// FNV-1a parameters (FNV-0 offset basis and 64-bit prime), inlined so
+// mappingHash needs no hash.Hash64 allocation. The byte sequence hashed is
+// identical to writing byte(mode) then, per PE, the two little-endian low
+// bytes through hash/fnv, so seeds are unchanged.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // mappingHash derives a deterministic refinement seed from a mapping and
 // mode index.
+//
+//mm:noalloc
 func mappingHash(m model.Mapping, mode int) uint64 {
-	h := fnv.New64a()
-	var b [2]byte
-	b[0] = byte(mode)
-	h.Write(b[:1])
+	h := uint64(fnvOffset64)
+	h ^= uint64(byte(mode))
+	h *= fnvPrime64
 	for _, row := range m {
 		for _, pe := range row {
-			b[0] = byte(pe)
-			b[1] = byte(int(pe) >> 8)
-			h.Write(b[:])
+			h ^= uint64(byte(pe))
+			h *= fnvPrime64
+			h ^= uint64(byte(int(pe) >> 8))
+			h *= fnvPrime64
 		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // Weights tune the penalty aggressiveness of the mapping fitness
@@ -74,6 +84,8 @@ type Evaluation struct {
 }
 
 // Feasible reports whether the candidate violates no constraint.
+//
+//mm:noalloc
 func (ev *Evaluation) Feasible() bool {
 	return ev.TimingPenalty <= 1 && ev.AreaPenalty <= 1 && ev.TransPenalty <= 1 && ev.Unroutable == 0
 }
@@ -154,6 +166,8 @@ func (e *Evaluator) recordEval(t obs.Timings) {
 // slowest-link energy of every communication. Infeasible candidates are
 // ranked above this bound so that no constraint violation can be traded
 // for dynamic-power savings.
+//
+//mm:noalloc
 func PowerUpperBound(s *model.System) float64 {
 	staticAll := 0.0
 	for _, pe := range s.Arch.PEs {
@@ -195,6 +209,9 @@ func NewEvaluator(sys *model.System, useDVS bool) *Evaluator {
 	return &Evaluator{Sys: sys, UseDVS: useDVS, Weights: DefaultWeights()}
 }
 
+// prob returns the evaluation probability of the mode.
+//
+//mm:noalloc
 func (e *Evaluator) prob(mode model.ModeID) float64 {
 	if e.Probs != nil {
 		return e.Probs[mode]
@@ -239,6 +256,7 @@ func (e *Evaluator) Evaluate(mapping model.Mapping) (*Evaluation, error) {
 		Schedules:  make([]*sched.Schedule, nModes),
 		ModePowers: make([]energy.ModePower, nModes),
 		Lateness:   make([]float64, nModes),
+		TransTimes: make([]float64, len(s.App.Transitions)),
 	}
 
 	// Lines 09-13: per-mode inner loop.
@@ -317,6 +335,8 @@ func (e *Evaluator) Evaluate(mapping model.Mapping) (*Evaluation, error) {
 }
 
 // penalties fills the timing, area and transition penalty terms.
+//
+//mm:noalloc
 func (e *Evaluator) penalties(ev *Evaluation) {
 	s := e.Sys
 	w := e.Weights
@@ -343,8 +363,8 @@ func (e *Evaluator) penalties(ev *Evaluation) {
 	// Transition penalty: relative excess over tTmax for violating
 	// transitions. (The paper multiplies wR·Π tT/tTmax over violating
 	// transitions; we use the equivalent monotone additive form that is 1
-	// when no transition is violated.)
-	ev.TransTimes = make([]float64, len(s.App.Transitions))
+	// when no transition is violated.) ev.TransTimes is presized by
+	// Evaluate.
 	transSum := 0.0
 	for i, tr := range s.App.Transitions {
 		t := ev.Alloc.TransitionTime(s, tr)
@@ -360,6 +380,8 @@ func (e *Evaluator) penalties(ev *Evaluation) {
 // candidate under a different probability vector (nil = the
 // specification's true probabilities). This is how a candidate optimised
 // while neglecting probabilities is judged under the real usage profile.
+//
+//mm:noalloc
 func (ev *Evaluation) Reweighted(s *model.System, probs []float64) float64 {
 	total := 0.0
 	for m := range ev.ModePowers {

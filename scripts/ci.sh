@@ -9,10 +9,21 @@ echo "==> go vet"
 go vet ./...
 
 # Domain invariant checkers: determinism of the stochastic kernels,
-# cancellation flow, float-comparison discipline, goroutine panic barriers
-# and enum-switch exhaustiveness. See docs/LINT.md.
+# cancellation flow, float-comparison discipline, goroutine panic barriers,
+# enum-switch exhaustiveness, hot-path allocations, lock discipline and
+# rename durability. See docs/LINT.md.
 echo "==> mmlint"
 go run ./cmd/mmlint ./...
+
+# Self-lint: the analyzer framework is held to its own rules.
+echo "==> mmlint self-lint"
+go run ./cmd/mmlint ./internal/lint/...
+
+# Allocation pins: every //mm:noalloc function must prove
+# testing.AllocsPerRun == 0 with 1:1 annotation/pin coverage
+# (internal/allocpin, docs/LINT.md).
+echo "==> bench-pins (//mm:noalloc AllocsPerRun pins)"
+make bench-pins
 
 echo "==> go build"
 go build ./...
