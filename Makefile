@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench-pins fuzz-smoke trace-smoke serve-smoke fleet-smoke certify bench ci
+.PHONY: all build test race vet lint bench-pins fuzz-smoke trace-smoke serve-smoke fleet-smoke perf-smoke certify bench ci
 
 all: build
 
@@ -64,6 +64,13 @@ fleet-smoke:
 # control that must exit 4. See docs/VERIFY.md.
 certify:
 	./scripts/certify.sh
+
+# Performance-trajectory smoke: mmperf measures a small spec, its artifact
+# must self-diff clean and flag a synthetic 10x regression; then one
+# mmserved job with -lifecycle-trace/-access-log, validated through
+# mmtrace -lifecycle. See docs/PERF.md.
+perf-smoke:
+	./scripts/perf_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

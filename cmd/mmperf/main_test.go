@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"momosyn/internal/perf"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func writeArtifact(t *testing.T, path string, wallMs ...float64) {
+	t.Helper()
+	a := &perf.Artifact{
+		Schema: perf.Schema,
+		Env:    perf.Env{GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4, NumCPU: 4, Commit: "abc123abc123", Timestamp: "2026-08-09T00:00:00Z"},
+		Config: perf.RunConfig{Reps: len(wallMs), Seed: 1, PopSize: 8, MaxGens: 4, Stagnation: 3},
+	}
+	sr := perf.SpecResult{Name: "mul1", Modes: 2, Tasks: 10}
+	for i, ms := range wallMs {
+		sr.Reps = append(sr.Reps, perf.Rep{
+			Seed: 1 + int64(i)*7919, WallNs: int64(ms * 1e6),
+			Evaluations: 1000, EvalsPerSec: 1000 / (ms / 1e3), Generations: 10,
+			CacheHitRate: 0.5, Allocs: 1000, AllocBytes: 1 << 20,
+		})
+	}
+	a.Specs = append(a.Specs, sr)
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExitCodes pins the documented contract: 0 ok, 1 regression or
+// runtime failure, 2 usage.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	same := filepath.Join(dir, "same.json")
+	slow := filepath.Join(dir, "slow.json")
+	writeArtifact(t, base, 100, 101, 99)
+	writeArtifact(t, same, 100, 101, 99)
+	writeArtifact(t, slow, 150, 151, 149)
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":"wrong"}`), 0o644)
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no subcommand", nil, 2},
+		{"unknown subcommand", []string{"bogus"}, 2},
+		{"help", []string{"help"}, 0},
+		{"diff ok", []string{"diff", base, same}, 0},
+		{"diff regression", []string{"diff", base, slow}, 1},
+		{"diff improvement ok", []string{"diff", slow, base}, 0},
+		{"diff one arg", []string{"diff", base}, 2},
+		{"diff missing file", []string{"diff", base, filepath.Join(dir, "nope.json")}, 2},
+		{"diff invalid artifact", []string{"diff", base, bad}, 2},
+		{"diff bad flag", []string{"diff", "-nope", base, same}, 2},
+		{"run bad spec", []string{"run", "-specs", "/no/such.spec"}, 2},
+		{"run stray args", []string{"run", "stray"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCmd(t, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tc.want, stdout, stderr)
+			}
+		})
+	}
+}
+
+func TestDiffOutputShapes(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	slow := filepath.Join(dir, "slow.json")
+	writeArtifact(t, base, 100, 101, 99)
+	writeArtifact(t, slow, 150, 151, 149)
+
+	code, stdout, _ := runCmd(t, "diff", base, slow)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "REGRESSED") || !strings.Contains(stdout, "regressed") {
+		t.Fatalf("regression output incomplete:\n%s", stdout)
+	}
+	code, stdout, _ = runCmd(t, "diff", base, base)
+	if code != 0 || !strings.Contains(stdout, "no regressions") {
+		t.Fatalf("self-diff: exit %d, out:\n%s", code, stdout)
+	}
+}
+
+// TestRunProducesDiffableArtifact executes a real (tiny) measurement and
+// feeds the artifact straight back through diff: the seed-pinned runs
+// must never self-certify a regression.
+func TestRunProducesDiffableArtifact(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	code, stdout, stderr := runCmd(t, "run",
+		"-specs", "mul1", "-reps", "2", "-warmups", "0",
+		"-pop", "8", "-gens", "6", "-stagnation", "4", "-out", out)
+	if code != 0 {
+		t.Fatalf("run exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "wrote "+out) {
+		t.Fatalf("run output missing artifact path:\n%s", stdout)
+	}
+	if _, err := perf.ReadFile(out); err != nil {
+		t.Fatalf("written artifact invalid: %v", err)
+	}
+	code, stdout, stderr = runCmd(t, "diff", out, out)
+	if code != 0 {
+		t.Fatalf("self-diff exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}

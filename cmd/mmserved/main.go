@@ -28,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -49,6 +50,8 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 5, "generations between per-job checkpoints")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for in-flight jobs")
 		traceJobs = flag.Bool("trace-jobs", false, "write a JSONL run-trace per job into its data directory")
+		lifecycle = flag.String("lifecycle-trace", "", "append job-lifecycle span events (JSONL) to this file; readable with mmtrace -lifecycle")
+		accessLog = flag.String("access-log", "", "append a structured JSON access log (one line per request) to this file")
 		fleetDir  = flag.String("fleet-dir", "", "shared fleet directory; set on every node to run a multi-node fleet (see docs/FLEET.md)")
 		nodeID    = flag.String("node-id", "", "this node's fleet-wide unique ID (default <hostname>-<pid>)")
 		leaseTTL  = flag.Duration("lease-ttl", 5*time.Second, "fleet job lease time-to-live; a node silent this long loses its jobs")
@@ -87,6 +90,26 @@ func main() {
 		*nodeID = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
+	var lifecycleRun *obs.Run
+	if *lifecycle != "" {
+		f, err := os.OpenFile(*lifecycle, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Print(err)
+			os.Exit(1)
+		}
+		lifecycleRun = obs.NewRun(nil, obs.NewJSONLSink(f))
+	}
+	var accessLogW io.Writer
+	if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Print(err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		accessLogW = f
+	}
+
 	srv, err := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -94,6 +117,8 @@ func main() {
 		SpecDir:         *specDir,
 		CheckpointEvery: *ckptEvery,
 		TraceJobs:       *traceJobs,
+		Lifecycle:       lifecycleRun,
+		AccessLog:       accessLogW,
 		Registry:        obs.NewRegistry(),
 		Logf:            logger.Printf,
 		FleetDir:        *fleetDir,
@@ -158,6 +183,14 @@ func main() {
 		}
 	} else {
 		logger.Print("drained cleanly")
+	}
+	// The lifecycle sink buffers; flush it after the drain so the trailing
+	// terminal/fenced spans of drained jobs reach disk. Nil-safe when off.
+	if err := lifecycleRun.Close(); err != nil {
+		logger.Printf("lifecycle trace: %v", err)
+		if exit == 0 {
+			exit = 1
+		}
 	}
 	if exit != 0 {
 		os.Exit(exit)

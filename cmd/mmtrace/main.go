@@ -1,11 +1,13 @@
 // Command mmtrace validates and summarises the observability artefacts of
 // a synthesis run: the JSONL run-trace event stream written by
-// `mmsynth -trace` (also mmbench -trace, mmsim -run-trace) and the JSON
+// `mmsynth -trace` (also mmbench -trace, mmsim -run-trace, and the
+// job-lifecycle stream of `mmserved -lifecycle-trace`) and the JSON
 // metrics snapshot written by `-metrics`. Every trace line is checked
 // against the event schema of docs/OBSERVABILITY.md.
 //
 //	mmtrace run.jsonl
 //	mmtrace -summary run.jsonl
+//	mmtrace -lifecycle jobs.jsonl            # per-state dwell-time table
 //	mmtrace -metrics metrics.json run.jsonl
 //	mmtrace -metrics metrics.json            # snapshot only, no trace
 //
@@ -15,64 +17,83 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
 
 	"momosyn/internal/obs"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mmtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		metricsPath = flag.String("metrics", "", "also validate this JSON metrics snapshot")
-		summary     = flag.Bool("summary", false, "print a per-kind event summary and the run's convergence endpoints")
+		metricsPath = fs.String("metrics", "", "also validate this JSON metrics snapshot")
+		summary     = fs.Bool("summary", false, "print a per-kind event summary and the run's convergence endpoints")
+		lifecycle   = fs.Bool("lifecycle", false, "print a per-state dwell-time table from job-lifecycle span events")
 	)
-	flag.Parse()
-
-	if flag.NArg() > 1 {
-		fatalUsage(fmt.Errorf("at most one trace file, got %v", flag.Args()))
-	}
-	if flag.NArg() == 0 && *metricsPath == "" {
-		fatalUsage(fmt.Errorf("nothing to validate: pass a trace file and/or -metrics"))
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	ok := true
-	if flag.NArg() == 1 {
-		ok = validateTrace(flag.Arg(0), *summary) && ok
+	if fs.NArg() > 1 {
+		return usage(stderr, fs, fmt.Errorf("at most one trace file, got %v", fs.Args()))
+	}
+	if fs.NArg() == 0 && *metricsPath == "" {
+		return usage(stderr, fs, fmt.Errorf("nothing to validate: pass a trace file and/or -metrics"))
+	}
+	if *lifecycle && fs.NArg() == 0 {
+		return usage(stderr, fs, fmt.Errorf("-lifecycle needs a trace file"))
+	}
+
+	worst := 0
+	if fs.NArg() == 1 {
+		events, code := validateTrace(fs.Arg(0), stdout, stderr, fs)
+		worst = max(worst, code)
+		if code == 0 && *summary {
+			printSummary(stdout, events)
+		}
+		if code == 0 && *lifecycle && !printLifecycle(stdout, stderr, events) {
+			worst = max(worst, 1)
+		}
 	}
 	if *metricsPath != "" {
-		ok = validateMetrics(*metricsPath) && ok
+		worst = max(worst, validateMetrics(*metricsPath, stdout, stderr, fs))
 	}
-	if !ok {
-		os.Exit(1)
-	}
+	return worst
 }
 
 // validateTrace reads and schema-checks every event of one JSONL file,
-// reporting the first offending line on failure.
-func validateTrace(path string, summary bool) bool {
+// reporting the first offending line on failure. The returned code is the
+// process exit code contribution: 0 valid, 1 invalid, 2 unreadable.
+func validateTrace(path string, stdout, stderr io.Writer, fs *flag.FlagSet) ([]*obs.Event, int) {
 	f, err := os.Open(path)
 	if err != nil {
-		fatalUsage(err)
+		return nil, usage(stderr, fs, err)
 	}
 	defer f.Close()
 	events, err := obs.ReadEvents(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mmtrace: %s: %v\n", path, err)
-		return false
+		fmt.Fprintf(stderr, "mmtrace: %s: %v\n", path, err)
+		return nil, 1
 	}
 	if len(events) == 0 {
-		fmt.Fprintf(os.Stderr, "mmtrace: %s: no events\n", path)
-		return false
+		fmt.Fprintf(stderr, "mmtrace: %s: no events\n", path)
+		return nil, 1
 	}
-	fmt.Printf("%s: %d events, all schema-valid\n", path, len(events))
-	if summary {
-		printSummary(events)
-	}
-	return true
+	fmt.Fprintf(stdout, "%s: %d events, all schema-valid\n", path, len(events))
+	return events, 0
 }
 
 // printSummary renders per-kind counts and the convergence endpoints that
 // the paper's experiments report (first/last generation fitness and p̄).
-func printSummary(events []*obs.Event) {
+func printSummary(stdout io.Writer, events []*obs.Event) {
 	counts := map[string]int{}
 	var first, last *obs.GenerationEvent
 	for _, ev := range events {
@@ -85,40 +106,128 @@ func printSummary(events []*obs.Event) {
 		}
 	}
 	for _, kind := range []string{obs.EvRunStart, obs.EvGeneration, obs.EvEval,
-		obs.EvSpan, obs.EvBenchRow, obs.EvRunEnd} {
+		obs.EvSpan, obs.EvBenchRow, obs.EvRunEnd, obs.EvJob} {
 		if counts[kind] > 0 {
-			fmt.Printf("  %-12s %6d\n", kind, counts[kind])
+			fmt.Fprintf(stdout, "  %-12s %6d\n", kind, counts[kind])
 		}
 	}
 	if first != nil {
-		fmt.Printf("  generations %d..%d: best fitness %g -> %g, avg power %g -> %g W\n",
+		fmt.Fprintf(stdout, "  generations %d..%d: best fitness %g -> %g, avg power %g -> %g W\n",
 			first.Gen, last.Gen,
 			float64(first.BestFitness), float64(last.BestFitness),
 			float64(first.AvgPower), float64(last.AvgPower))
 		for _, m := range last.Mutations {
-			fmt.Printf("  mutation %-10s %d/%d/%d (improved/accepted/attempted)\n",
+			fmt.Fprintf(stdout, "  mutation %-10s %d/%d/%d (improved/accepted/attempted)\n",
 				m.Name, m.Improved, m.Accepted, m.Attempts)
 		}
 	}
 }
 
-// validateMetrics checks the JSON snapshot's structural invariants
-// (histogram bucket arithmetic in particular).
-func validateMetrics(path string) bool {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fatalUsage(err)
+// dwellStat accumulates the time jobs spent in one state before leaving it.
+type dwellStat struct {
+	leaves int
+	total  int64
+	max    int64
+}
+
+// printLifecycle renders the per-state dwell-time table of a job-lifecycle
+// span stream: for each state, how often jobs left it and how long they
+// sat in it (total/mean/max), plus checkpoint-save totals and the terminal
+// outcome tally. Returns false when the stream has no job events at all —
+// asking for a lifecycle table of a trace without one is a failure.
+func printLifecycle(stdout, stderr io.Writer, events []*obs.Event) bool {
+	dwell := map[string]*dwellStat{}
+	terminals := map[string]int{}
+	jobs := map[string]bool{}
+	var spans, ckpts int
+	var ckptTotal int64
+	for _, ev := range events {
+		if ev.Ev != obs.EvJob {
+			continue
+		}
+		j := ev.Job
+		spans++
+		jobs[j.Job] = true
+		if j.Event == obs.JobCheckpoint {
+			// Checkpoint markers carry the save duration, not a state dwell.
+			ckpts++
+			ckptTotal += j.DwellNs
+			continue
+		}
+		if j.From != "" {
+			st := dwell[j.From]
+			if st == nil {
+				st = &dwellStat{}
+				dwell[j.From] = st
+			}
+			st.leaves++
+			st.total += j.DwellNs
+			if j.DwellNs > st.max {
+				st.max = j.DwellNs
+			}
+		}
+		if j.Event == obs.JobTerminal {
+			terminals[j.State]++
+		}
 	}
-	if err := obs.ValidateMetricsJSON(data); err != nil {
-		fmt.Fprintf(os.Stderr, "mmtrace: %s: %v\n", path, err)
+	if spans == 0 {
+		fmt.Fprintf(stderr, "mmtrace: no job lifecycle events in trace\n")
 		return false
 	}
-	fmt.Printf("%s: metrics snapshot valid\n", path)
+	fmt.Fprintf(stdout, "  lifecycle: %d jobs, %d spans\n", len(jobs), spans)
+
+	states := make([]string, 0, len(dwell))
+	for s := range dwell {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  STATE\tLEAVES\tTOTAL\tMEAN\tMAX\n")
+	for _, s := range states {
+		st := dwell[s]
+		mean := st.total / int64(st.leaves)
+		fmt.Fprintf(tw, "  %s\t%d\t%v\t%v\t%v\n", s, st.leaves,
+			time.Duration(st.total), time.Duration(mean), time.Duration(st.max))
+	}
+	tw.Flush()
+	if ckpts > 0 {
+		fmt.Fprintf(stdout, "  checkpoint saves: %d, total %v\n", ckpts, time.Duration(ckptTotal))
+	}
+	if len(terminals) > 0 {
+		outcomes := make([]string, 0, len(terminals))
+		for s := range terminals {
+			outcomes = append(outcomes, s)
+		}
+		sort.Strings(outcomes)
+		fmt.Fprintf(stdout, "  terminal:")
+		for _, s := range outcomes {
+			fmt.Fprintf(stdout, " %s %d", s, terminals[s])
+		}
+		fmt.Fprintln(stdout)
+	}
 	return true
 }
 
-func fatalUsage(err error) {
-	fmt.Fprintln(os.Stderr, "mmtrace:", err)
-	flag.Usage()
-	os.Exit(2)
+// validateMetrics checks the JSON snapshot's structural invariants
+// (histogram bucket arithmetic in particular); same code contract as
+// validateTrace.
+func validateMetrics(path string, stdout, stderr io.Writer, fs *flag.FlagSet) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return usage(stderr, fs, err)
+	}
+	if err := obs.ValidateMetricsJSON(data); err != nil {
+		fmt.Fprintf(stderr, "mmtrace: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: metrics snapshot valid\n", path)
+	return 0
+}
+
+// usage reports a command-line usage error (exit 2), matching the flag
+// package's own exit code for unparsable flags.
+func usage(stderr io.Writer, fs *flag.FlagSet, err error) int {
+	fmt.Fprintln(stderr, "mmtrace:", err)
+	fs.Usage()
+	return 2
 }

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"momosyn/internal/obs"
+)
+
+// runCmd invokes the CLI entry point and captures its streams.
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// writeTrace serialises events through the production sink into a file.
+func writeTrace(t *testing.T, events ...*obs.Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONLSink(f)
+	for i, ev := range events {
+		ev.T = int64(i + 1)
+		if err := sink.Emit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func jobEv(e obs.JobEvent) *obs.Event { return &obs.Event{Ev: obs.EvJob, Job: &e} }
+
+// lifecycleTrace is a two-job stream: one happy path with a retry, one
+// cancelled straight out of the queue.
+func lifecycleTrace(t *testing.T) string {
+	t.Helper()
+	return writeTrace(t,
+		jobEv(obs.JobEvent{Job: "j000001", Event: obs.JobSubmitted, State: "queued"}),
+		jobEv(obs.JobEvent{Job: "j000001", Event: obs.JobAttempt, From: "queued", State: "running", Attempt: 1, DwellNs: 2e6}),
+		jobEv(obs.JobEvent{Job: "j000001", Event: obs.JobCheckpoint, State: "running", Attempt: 1, DwellNs: 5e5}),
+		jobEv(obs.JobEvent{Job: "j000001", Event: obs.JobRetry, From: "running", State: "queued", Attempt: 1, DwellNs: 4e6, Detail: "retrying in 2s: synthetic"}),
+		jobEv(obs.JobEvent{Job: "j000001", Event: obs.JobAttempt, From: "queued", State: "running", Attempt: 2, DwellNs: 8e6}),
+		jobEv(obs.JobEvent{Job: "j000001", Event: obs.JobTerminal, From: "running", State: "done", Attempt: 2, DwellNs: 6e6}),
+		jobEv(obs.JobEvent{Job: "j000002", Event: obs.JobSubmitted, State: "queued"}),
+		jobEv(obs.JobEvent{Job: "j000002", Event: obs.JobTerminal, From: "queued", State: "cancelled", DwellNs: 1e6, Detail: "cancelled by client"}),
+	)
+}
+
+func TestExitCodes(t *testing.T) {
+	valid := lifecycleTrace(t)
+	noJobs := writeTrace(t, &obs.Event{Ev: obs.EvSpan, Span: &obs.SpanEvent{Name: "x", Ns: 1}})
+
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	invalid := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(invalid, []byte(`{"ev":"job","t":1,"job":{"job":"","event":"submitted"}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badMetrics := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badMetrics, []byte(`{"histograms":{"h":{"count":1,"sum":0,"bounds":[1],"counts":[1]}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	goodMetrics := filepath.Join(t.TempDir(), "good.json")
+	{
+		reg := obs.NewRegistry()
+		reg.Counter("c").Inc()
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goodMetrics, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no inputs", nil, 2},
+		{"two trace files", []string{valid, valid}, 2},
+		{"unknown flag", []string{"-nope", valid}, 2},
+		{"missing trace file", []string{filepath.Join(t.TempDir(), "nope.jsonl")}, 2},
+		{"lifecycle without trace", []string{"-lifecycle", "-metrics", goodMetrics}, 2},
+		{"valid trace", []string{valid}, 0},
+		{"valid trace with summary", []string{"-summary", valid}, 0},
+		{"valid lifecycle", []string{"-lifecycle", valid}, 0},
+		{"lifecycle of job-less trace", []string{"-lifecycle", noJobs}, 1},
+		{"empty trace", []string{empty}, 1},
+		{"schema-invalid trace", []string{invalid}, 1},
+		{"valid metrics only", []string{"-metrics", goodMetrics}, 0},
+		{"invalid metrics", []string{"-metrics", badMetrics}, 1},
+		{"invalid metrics beside valid trace", []string{"-metrics", badMetrics, valid}, 1},
+		{"missing metrics file", []string{"-metrics", filepath.Join(t.TempDir(), "nope.json")}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCmd(t, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.want, stderr)
+			}
+		})
+	}
+}
+
+func TestLifecycleTable(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-lifecycle", lifecycleTrace(t))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"lifecycle: 2 jobs, 8 spans",
+		"STATE", "LEAVES", "TOTAL", "MEAN", "MAX",
+		"checkpoint saves: 1, total 500µs",
+		"terminal: cancelled 1 done 1",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("lifecycle output missing %q:\n%s", want, stdout)
+		}
+	}
+	// queued is left three times (two attempts + one cancel): 2+8+1 = 11ms
+	// total, ~3.67ms mean, 8ms max. running is left twice (retry+terminal):
+	// 10ms total, 5ms mean, 6ms max. Checkpoints must not count as dwell.
+	lines := strings.Split(stdout, "\n")
+	var queued, running string
+	for _, l := range lines {
+		f := strings.Fields(l)
+		if len(f) == 5 && f[0] == "queued" {
+			queued = strings.Join(f, " ")
+		}
+		if len(f) == 5 && f[0] == "running" {
+			running = strings.Join(f, " ")
+		}
+	}
+	if queued != "queued 3 11ms 3.666666ms 8ms" {
+		t.Fatalf("queued row = %q", queued)
+	}
+	if running != "running 2 10ms 5ms 6ms" {
+		t.Fatalf("running row = %q", running)
+	}
+}
+
+func TestSummaryCountsJobEvents(t *testing.T) {
+	code, stdout, _ := runCmd(t, "-summary", lifecycleTrace(t))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, "job") || !strings.Contains(stdout, "8") {
+		t.Fatalf("summary does not count job events:\n%s", stdout)
+	}
+}

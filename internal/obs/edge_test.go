@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestHistogramBoundaryAndNonFinite pins the bucket edge cases: a value
+// equal to a bound lands in that bound's bucket (le semantics), values
+// below the first bound (including -Inf and NaN, which compare false
+// against every bound) land in the first bucket, +Inf overflows, and the
+// resulting snapshot still passes structural validation with a non-finite
+// sum.
+func TestHistogramBoundaryAndNonFinite(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("edge", []float64{0, 1})
+	for _, v := range []float64{-5, 0, 1, math.Inf(1), math.Inf(-1), math.NaN()} {
+		h.Observe(v)
+	}
+	got := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		got[i] = h.counts[i].Load()
+	}
+	want := []uint64{4, 1, 1} // (≤0)=-5,0,-Inf,NaN  (≤1)=1  over=+Inf
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", got, want)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if !math.IsNaN(h.Sum()) {
+		t.Errorf("sum = %g, want NaN (+Inf + -Inf + NaN observed)", h.Sum())
+	}
+
+	// The snapshot (Float encodes the NaN sum as a string) round-trips
+	// through the structural validator.
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+	if err := ValidateMetricsJSON(buf.Bytes()); err != nil {
+		t.Fatalf("snapshot with non-finite sum rejected: %v", err)
+	}
+}
+
+// TestWritePrometheusExposition pins the text exposition byte-for-byte:
+// kind-then-name order, sanitised names, cumulative buckets closed by
+// +Inf, and non-finite sample values in Prometheus spelling.
+func TestWritePrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.jobs_done").Add(3)
+	reg.Gauge("ga.best_fitness").Set(math.Inf(1))
+	h := reg.Histogram("synth.phase_seconds.dvs", []float64{1, 10})
+	for _, v := range []float64{0.5, 5, 50} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE serve_jobs_done counter
+serve_jobs_done 3
+# TYPE ga_best_fitness gauge
+ga_best_fitness +Inf
+# TYPE synth_phase_seconds_dvs histogram
+synth_phase_seconds_dvs_bucket{le="1"} 1
+synth_phase_seconds_dvs_bucket{le="10"} 2
+synth_phase_seconds_dvs_bucket{le="+Inf"} 3
+synth_phase_seconds_dvs_sum 55.5
+synth_phase_seconds_dvs_count 3
+`
+	if buf.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestAcceptsPrometheus(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"text/plain", true},
+		{"text/plain; version=0.0.4", true},
+		{"application/openmetrics-text;version=1.0.0,text/plain", true},
+		{"application/json, text/plain;q=0.5", true},
+		{"TEXT/PLAIN", true},
+		{"", false},
+		{"*/*", false},
+		{"application/json", false},
+		{"text/html", false},
+	}
+	for _, tc := range cases {
+		if got := acceptsPrometheus(tc.accept); got != tc.want {
+			t.Errorf("acceptsPrometheus(%q) = %v, want %v", tc.accept, got, tc.want)
+		}
+	}
+}
+
+// TestEmitJobDisabledAllocatesNothing pins the zero-cost contract of the
+// lifecycle span path for both disabled shapes: a nil run (instrumentation
+// entirely off) and a metrics-only run (no trace sink, the shape every
+// mmserved without -lifecycle-trace uses per request).
+func TestEmitJobDisabledAllocatesNothing(t *testing.T) {
+	var nilRun *Run
+	metricsOnly := NewRun(nil, nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		nilRun.EmitJob(JobEvent{Job: "j000001", Event: JobAttempt, From: "queued",
+			State: "running", Attempt: 1, DwellNs: 123, Node: "n1", Epoch: 2})
+		metricsOnly.EmitJob(JobEvent{Job: "j000001", Event: JobTerminal, From: "running",
+			State: "done", Attempt: 1, DwellNs: 456})
+	})
+	if allocs != 0 {
+		t.Errorf("disabled EmitJob allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestJobEventRoundTrip sends a fully-populated lifecycle span through the
+// production JSONL sink and strict reader.
+func TestJobEventRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRun(nil, NewJSONLSink(&buf))
+	in := JobEvent{Job: "j000042", Event: JobStolen, From: "running", State: "queued",
+		Attempt: 3, Node: "nodeB-77", Epoch: 5, DwellNs: 987654, Detail: "lease expired"}
+	r.EmitJob(in)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Ev != EvJob {
+		t.Fatalf("got %d events (%+v), want one job event", len(events), events)
+	}
+	if got := *events[0].Job; got != in {
+		t.Fatalf("round trip changed the event:\n got %+v\nwant %+v", got, in)
+	}
+	if events[0].T == 0 {
+		t.Error("emitted job event not timestamped")
+	}
+}

@@ -15,12 +15,15 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -371,13 +374,110 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(doc)
 }
 
-// ServeHTTP exposes the registry as a JSON metrics endpoint: the same
-// document WriteJSON produces, with a JSON content type. A *Registry can
+// promNameSanitizer rewrites a registry metric name into the Prometheus
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*: dots (the registry's namespace
+// separator) and every other illegal rune become underscores.
+var promNameSanitizer = strings.NewReplacer(".", "_", "-", "_", " ", "_", "/", "_")
+
+func promName(name string) string {
+	name = promNameSanitizer.Replace(name)
+	clean := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			c = '_'
+		}
+		clean = append(clean, c)
+	}
+	return string(clean)
+}
+
+// promFloat renders a sample value the way Prometheus text exposition
+// expects (bare decimal; +Inf/-Inf/NaN spelled out).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry contents in the Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` header per metric,
+// counters and gauges as single samples, histograms as cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`. Metric names are
+// sanitised into the Prometheus grammar (dots become underscores); output
+// order matches Export, so exposition is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, st := range r.Export() {
+		name := promName(st.Name)
+		switch st.Kind {
+		case "counter":
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %s\n", name, name, promFloat(st.Value))
+		case "gauge":
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(st.Value))
+		case "histogram":
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			var cum uint64
+			for i, bound := range st.Bounds {
+				cum += st.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, st.Count)
+			fmt.Fprintf(bw, "%s_sum %s\n", name, promFloat(st.Sum))
+			fmt.Fprintf(bw, "%s_count %d\n", name, st.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// acceptsPrometheus decides the /metrics content negotiation: the
+// Prometheus text format is served when the Accept header explicitly asks
+// for a text/plain or OpenMetrics representation (what Prometheus scrapers
+// send); every other request — no header, */*, application/json — keeps
+// the JSON snapshot, so existing clients see no change.
+func acceptsPrometheus(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		switch strings.ToLower(strings.TrimSpace(mediaType)) {
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
+}
+
+// PromContentType is the Content-Type of the Prometheus text exposition.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ServeHTTP exposes the registry as a metrics endpoint. The default
+// representation is the JSON document WriteJSON produces; a request whose
+// Accept header names text/plain (or OpenMetrics) — i.e. a Prometheus
+// scraper — receives the text exposition format instead. A *Registry can
 // therefore be mounted directly on a mux (the synthesis job server mounts
 // its registry at GET /metrics). Snapshot assembly is atomic per metric
 // and guarded by the registry lock, so scraping concurrently with updates
 // is safe.
 func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if acceptsPrometheus(req.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", PromContentType)
+		if err := r.WritePrometheus(w); err != nil {
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+				}
+			}
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := r.WriteJSON(w); err != nil {
 		// Headers are out by now; all we can do is drop the connection

@@ -205,6 +205,18 @@ func (r *Run) emitBenchRow(e BenchRowEvent) {
 	r.Emit(&Event{Ev: EvBenchRow, Row: &e})
 }
 
+// EmitJob emits a job-lifecycle span event.
+func (r *Run) EmitJob(e JobEvent) {
+	if !r.Tracing() {
+		return
+	}
+	r.emitJob(e)
+}
+
+func (r *Run) emitJob(e JobEvent) {
+	r.Emit(&Event{Ev: EvJob, Job: &e})
+}
+
 // EmitRunEnd emits a run_end event.
 func (r *Run) EmitRunEnd(e RunEndEvent) {
 	if !r.Tracing() {

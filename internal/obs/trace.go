@@ -70,6 +70,7 @@ const (
 	EvSpan       = "span"
 	EvBenchRow   = "bench_row"
 	EvRunEnd     = "run_end"
+	EvJob        = "job"
 )
 
 // Event is one JSONL trace line. Exactly one payload section is non-nil,
@@ -88,6 +89,7 @@ type Event struct {
 	Span *SpanEvent       `json:"span,omitempty"`
 	Row  *BenchRowEvent   `json:"row,omitempty"`
 	End  *RunEndEvent     `json:"end,omitempty"`
+	Job  *JobEvent        `json:"job,omitempty"`
 }
 
 // RunStartEvent opens a synthesis run's trace.
@@ -196,6 +198,66 @@ type BenchRowEvent struct {
 	DVSNs       int64 `json:"dvs_ns,omitempty"`
 	RefineNs    int64 `json:"refine_ns,omitempty"`
 	CertifyNs   int64 `json:"certify_ns,omitempty"`
+}
+
+// Job lifecycle event names, the values of JobEvent.Event. The happy path
+// of a job service reads submitted → attempt → terminal; claimed/stolen
+// mark fleet lease acquisitions, queued a re-enqueue (drain recovery),
+// retry a failed-but-budgeted attempt returning to the queue behind its
+// backoff, checkpoint a persisted engine snapshot (an instantaneous marker
+// whose DwellNs is the save duration, not a state dwell), and fenced an
+// execution abandoned because a higher lease epoch appeared.
+const (
+	JobSubmitted  = "submitted"
+	JobQueued     = "queued"
+	JobClaimed    = "claimed"
+	JobStolen     = "stolen"
+	JobAttempt    = "attempt"
+	JobCheckpoint = "checkpoint"
+	JobRetry      = "retry"
+	JobFenced     = "fenced"
+	JobTerminal   = "terminal"
+)
+
+// jobEventNames is the closed set ValidateEvent accepts.
+var jobEventNames = map[string]bool{
+	JobSubmitted: true, JobQueued: true, JobClaimed: true, JobStolen: true,
+	JobAttempt: true, JobCheckpoint: true, JobRetry: true, JobFenced: true,
+	JobTerminal: true,
+}
+
+// JobEvent is one job-lifecycle span: a state transition (or checkpoint
+// marker) of one job in a synthesis job service. From/State are the job
+// states being left and entered (the service's own vocabulary — this
+// package does not constrain them); DwellNs is the wall-clock time the job
+// spent in From, so queue wait, execution and recovery time are all
+// attributable per job. Checkpoint events instead carry the checkpoint
+// save duration and leave the state clock untouched.
+type JobEvent struct {
+	// Job is the job identifier.
+	Job string `json:"job"`
+	// Event is one of the Job* constants.
+	Event string `json:"event"`
+	// From is the state the job leaves; empty for submitted (there is no
+	// prior state) and for checkpoint markers.
+	From string `json:"from,omitempty"`
+	// State is the state the job enters; required for terminal events
+	// (done/failed/cancelled/quarantined — the service's terminal states).
+	State string `json:"state,omitempty"`
+	// Attempt is the 1-based execution attempt this event belongs to; 0
+	// when the job has not started executing.
+	Attempt int `json:"attempt,omitempty"`
+	// Node is the service node that observed the transition; empty in
+	// single-node deployments.
+	Node string `json:"node,omitempty"`
+	// Epoch is the fleet lease epoch under which the node held the job; 0
+	// outside fleet mode.
+	Epoch int `json:"epoch,omitempty"`
+	// DwellNs is the time spent in From (or, for checkpoint events, the
+	// snapshot save duration) in nanoseconds.
+	DwellNs int64 `json:"dwell_ns,omitempty"`
+	// Detail carries the human-readable cause (error text, backoff, ...).
+	Detail string `json:"detail,omitempty"`
 }
 
 // RunEndEvent closes a synthesis run's trace.
@@ -343,6 +405,7 @@ func ValidateEvent(ev *Event) error {
 		{EvSpan, ev.Span != nil},
 		{EvBenchRow, ev.Row != nil},
 		{EvRunEnd, ev.End != nil},
+		{EvJob, ev.Job != nil},
 	}
 	known := false
 	for _, s := range sections {
@@ -401,6 +464,23 @@ func ValidateEvent(ev *Event) error {
 	case EvRunEnd:
 		if ev.End.Generations < 0 || ev.End.Evaluations < 0 {
 			return fmt.Errorf("obs: run_end has negative progress counters")
+		}
+	case EvJob:
+		j := ev.Job
+		if j.Job == "" {
+			return fmt.Errorf("obs: job event without a job id")
+		}
+		if !jobEventNames[j.Event] {
+			return fmt.Errorf("obs: job %s has unknown lifecycle event %q", j.Job, j.Event)
+		}
+		if j.DwellNs < 0 {
+			return fmt.Errorf("obs: job %s %s event has negative dwell %d", j.Job, j.Event, j.DwellNs)
+		}
+		if j.Attempt < 0 || j.Epoch < 0 {
+			return fmt.Errorf("obs: job %s %s event has negative attempt or epoch", j.Job, j.Event)
+		}
+		if j.Event == JobTerminal && j.State == "" {
+			return fmt.Errorf("obs: job %s terminal event names no terminal state", j.Job)
 		}
 	}
 	return nil

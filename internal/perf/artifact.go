@@ -1,0 +1,294 @@
+// Package perf is the performance-trajectory subsystem behind cmd/mmperf:
+// it executes the benchmark suite under instrumentation and emits a
+// canonical BENCH_<commit>.json artifact (per-spec wall time, evals/sec,
+// per-phase breakdown, fitness-cache hit rate, allocations, environment
+// fingerprint), and diffs two such artifacts with robust statistics
+// (median + MAD over repetitions) so CI can gate on performance
+// regressions. Every speedup PR cites a trajectory point produced here;
+// see docs/PERF.md for the schema, the diff rules and the workflow.
+//
+// The package is standard-library-only plus the repo's own engine layers
+// (bench for the spec suite, synth for the runs, obs for phase timings).
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Schema is the artifact schema identifier; readers reject anything else.
+const Schema = "mmperf/v1"
+
+// Artifact is one point of the repo's performance trajectory: the measured
+// cost of the benchmark suite at one commit on one machine.
+type Artifact struct {
+	// Schema pins the document format ("mmperf/v1").
+	Schema string `json:"schema"`
+	// Env fingerprints where and when the measurement ran.
+	Env Env `json:"env"`
+	// Config records the run parameters; diffs warn when they disagree.
+	Config RunConfig `json:"config"`
+	// Specs holds one entry per measured specification.
+	Specs []SpecResult `json:"specs"`
+}
+
+// Env is the environment fingerprint of one artifact. Numbers are only
+// comparable between artifacts measured on like environments; the diff
+// prints both fingerprints so a cross-machine comparison is visible.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Commit is the VCS revision the measured tree was at ("unknown" when
+	// not determinable).
+	Commit string `json:"commit"`
+	// Timestamp is the measurement time, RFC 3339 UTC.
+	Timestamp string `json:"timestamp"`
+}
+
+// RunConfig records the measurement parameters.
+type RunConfig struct {
+	Reps       int   `json:"reps"`
+	Warmups    int   `json:"warmups"`
+	Seed       int64 `json:"seed"`
+	DVS        bool  `json:"dvs,omitempty"`
+	PopSize    int   `json:"pop_size"`
+	MaxGens    int   `json:"max_generations"`
+	Stagnation int   `json:"stagnation"`
+}
+
+// PhaseNs is the per-phase wall-time breakdown of one repetition in
+// nanoseconds (the obs.Timings phases). CommMap is the communication-
+// mapping share nested inside ListSched.
+type PhaseNs struct {
+	Mobility  int64 `json:"mobility_ns"`
+	CoreAlloc int64 `json:"core_alloc_ns"`
+	ListSched int64 `json:"list_sched_ns"`
+	CommMap   int64 `json:"comm_map_ns"`
+	DVS       int64 `json:"dvs_ns,omitempty"`
+	Refine    int64 `json:"refine_ns,omitempty"`
+}
+
+// Rep is one measured synthesis repetition.
+type Rep struct {
+	// Seed is the synthesis seed of this repetition.
+	Seed int64 `json:"seed"`
+	// WallNs is the end-to-end synthesis wall time.
+	WallNs int64 `json:"wall_ns"`
+	// Evaluations is the number of fitness evaluations the engine made
+	// (cache hits included); EvalsPerSec = Evaluations / wall seconds is
+	// the headline throughput number.
+	Evaluations int     `json:"evaluations"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+	Generations int     `json:"generations"`
+	// CacheHitRate is the fitness-cache hit rate over the run, in [0,1].
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Allocs and AllocBytes are the heap allocation count and byte volume
+	// of the repetition (runtime.MemStats deltas across the run).
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Phases is the instrumented phase breakdown.
+	Phases PhaseNs `json:"phases"`
+}
+
+// SpecResult holds the repetitions of one specification.
+type SpecResult struct {
+	Name  string `json:"name"`
+	Modes int    `json:"modes"`
+	Tasks int    `json:"tasks"`
+	Reps  []Rep  `json:"reps"`
+}
+
+// Validate structurally checks an artifact: the schema identifier, at
+// least one spec with at least one rep each, unique spec names, and
+// non-negative measurements.
+func (a *Artifact) Validate() error {
+	if a.Schema != Schema {
+		return fmt.Errorf("perf: artifact schema %q, want %q", a.Schema, Schema)
+	}
+	if len(a.Specs) == 0 {
+		return fmt.Errorf("perf: artifact has no specs")
+	}
+	seen := make(map[string]bool, len(a.Specs))
+	for _, s := range a.Specs {
+		if s.Name == "" {
+			return fmt.Errorf("perf: artifact has a spec without a name")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("perf: artifact lists spec %q twice", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Reps) == 0 {
+			return fmt.Errorf("perf: spec %q has no repetitions", s.Name)
+		}
+		for i, r := range s.Reps {
+			if r.WallNs <= 0 {
+				return fmt.Errorf("perf: spec %q rep %d has non-positive wall time %d", s.Name, i, r.WallNs)
+			}
+			if r.Evaluations < 0 || r.Generations < 0 {
+				return fmt.Errorf("perf: spec %q rep %d has negative progress counters", s.Name, i)
+			}
+			if r.CacheHitRate < 0 || r.CacheHitRate > 1 {
+				return fmt.Errorf("perf: spec %q rep %d cache hit rate %g outside [0,1]", s.Name, i, r.CacheHitRate)
+			}
+			p := r.Phases
+			if p.Mobility < 0 || p.CoreAlloc < 0 || p.ListSched < 0 ||
+				p.CommMap < 0 || p.DVS < 0 || p.Refine < 0 {
+				return fmt.Errorf("perf: spec %q rep %d has a negative phase duration", s.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Encode writes the artifact as indented JSON.
+func (a *Artifact) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteFile writes the artifact to path (0644, truncating).
+func (a *Artifact) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("perf: artifact: %w", err)
+	}
+	err = a.Encode(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("perf: artifact %s: %w", path, err)
+	}
+	return nil
+}
+
+// Read decodes and validates one artifact document. Unknown fields are
+// schema violations, so the format is pinned.
+func Read(r io.Reader) (*Artifact, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	a := &Artifact{}
+	if err := dec.Decode(a); err != nil {
+		return nil, fmt.Errorf("perf: artifact: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ReadFile reads and validates the artifact at path.
+func ReadFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	defer f.Close()
+	a, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return a, nil
+}
+
+// ArtifactName returns the canonical artifact file name for a commit.
+func ArtifactName(commit string) string {
+	if commit == "" {
+		commit = "unknown"
+	}
+	return "BENCH_" + commit + ".json"
+}
+
+// CurrentEnv fingerprints the running process. The commit is resolved from
+// the git metadata under dir (see GitCommit); pass "" to search from the
+// working directory.
+func CurrentEnv(dir string) Env {
+	commit, err := GitCommit(dir)
+	if err != nil {
+		commit = "unknown"
+	}
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Commit:     commit,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// GitCommit resolves the current commit hash (short, 12 hex digits) by
+// reading the .git metadata directly — no git binary required. It walks
+// from dir (or the working directory when empty) upwards to the repository
+// root, follows HEAD through one level of symbolic ref, and falls back to
+// packed-refs.
+func GitCommit(dir string) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		gitDir := filepath.Join(abs, ".git")
+		if fi, err := os.Stat(gitDir); err == nil && fi.IsDir() {
+			return readGitHead(gitDir)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("perf: no .git directory above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+func readGitHead(gitDir string) (string, error) {
+	head, err := os.ReadFile(filepath.Join(gitDir, "HEAD"))
+	if err != nil {
+		return "", err
+	}
+	ref := strings.TrimSpace(string(head))
+	if hash, ok := strings.CutPrefix(ref, "ref: "); ok {
+		ref = strings.TrimSpace(hash)
+		if data, err := os.ReadFile(filepath.Join(gitDir, filepath.FromSlash(ref))); err == nil {
+			return shortHash(strings.TrimSpace(string(data)))
+		}
+		// Packed ref: scan .git/packed-refs for the ref name.
+		packed, err := os.ReadFile(filepath.Join(gitDir, "packed-refs"))
+		if err != nil {
+			return "", fmt.Errorf("perf: unresolvable ref %s", ref)
+		}
+		for _, line := range strings.Split(string(packed), "\n") {
+			hash, name, ok := strings.Cut(strings.TrimSpace(line), " ")
+			if ok && name == ref {
+				return shortHash(hash)
+			}
+		}
+		return "", fmt.Errorf("perf: ref %s not in packed-refs", ref)
+	}
+	return shortHash(ref)
+}
+
+func shortHash(h string) (string, error) {
+	if len(h) < 12 {
+		return "", fmt.Errorf("perf: malformed commit hash %q", h)
+	}
+	for _, c := range h {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return "", fmt.Errorf("perf: malformed commit hash %q", h)
+		}
+	}
+	return h[:12], nil
+}

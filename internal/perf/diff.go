@@ -1,0 +1,318 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Thresholds configures when a metric delta counts as a regression. All
+// relative thresholds are fractions (0.10 = 10%). The MAD noise gate
+// suppresses deltas smaller than MADK times the larger of the two runs'
+// median absolute deviations — a run whose repetitions scatter by 8%
+// cannot certify a 5% regression.
+type Thresholds struct {
+	// Wall is the relative threshold for per-spec median wall time.
+	Wall float64
+	// Phase is the relative threshold for per-phase median times.
+	Phase float64
+	// Evals is the relative threshold for median evals/sec (a decrease
+	// is the regression direction).
+	Evals float64
+	// Cache is the absolute threshold for the median cache hit rate
+	// (a drop of more than this many percentage points regresses).
+	Cache float64
+	// Allocs is the relative threshold for median allocation counts.
+	Allocs float64
+	// MADK scales the noise gate (|delta| must exceed MADK * max MAD).
+	MADK float64
+	// MinPhaseNs ignores phases whose medians are both below this floor;
+	// sub-millisecond phases are clock noise, not signal.
+	MinPhaseNs int64
+}
+
+// DefaultThresholds is the CI gate configuration.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		Wall:       0.10,
+		Phase:      0.15,
+		Evals:      0.10,
+		Cache:      0.05,
+		Allocs:     0.10,
+		MADK:       3,
+		MinPhaseNs: 1e6,
+	}
+}
+
+// Delta is one compared metric of one spec.
+type Delta struct {
+	// Spec is the specification name; Metric the compared metric
+	// ("wall", "evals_per_sec", "cache_hit_rate", "allocs", or
+	// "phase.<name>").
+	Spec   string
+	Metric string
+	// Old and New are the median values (ns for times, rate/counts
+	// otherwise).
+	Old float64
+	New float64
+	// Rel is the relative change (New-Old)/Old; NaN when Old is zero.
+	Rel float64
+	// Noise is the MAD-based noise magnitude the delta was gated on.
+	Noise float64
+	// Regressed marks deltas past threshold in the bad direction.
+	Regressed bool
+	// Improved marks deltas past threshold in the good direction.
+	Improved bool
+}
+
+// Diff compares two artifacts spec by spec and reports per-metric deltas.
+// Specs present in only one artifact are noted in warnings but do not
+// regress; so do differing run configurations or environments.
+func Diff(old, new_ *Artifact, th Thresholds) (deltas []Delta, warnings []string) {
+	if old.Config != new_.Config {
+		warnings = append(warnings, fmt.Sprintf("run configs differ (old %+v, new %+v)", old.Config, new_.Config))
+	}
+	if old.Env.GoVersion != new_.Env.GoVersion || old.Env.GOOS != new_.Env.GOOS ||
+		old.Env.GOARCH != new_.Env.GOARCH || old.Env.NumCPU != new_.Env.NumCPU {
+		warnings = append(warnings, fmt.Sprintf("environments differ (old %s %s/%s %d cpu, new %s %s/%s %d cpu)",
+			old.Env.GoVersion, old.Env.GOOS, old.Env.GOARCH, old.Env.NumCPU,
+			new_.Env.GoVersion, new_.Env.GOOS, new_.Env.GOARCH, new_.Env.NumCPU))
+	}
+	oldSpecs := make(map[string]*SpecResult, len(old.Specs))
+	for i := range old.Specs {
+		oldSpecs[old.Specs[i].Name] = &old.Specs[i]
+	}
+	matched := make(map[string]bool)
+	for i := range new_.Specs {
+		ns := &new_.Specs[i]
+		os_, ok := oldSpecs[ns.Name]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("spec %s only in new artifact", ns.Name))
+			continue
+		}
+		matched[ns.Name] = true
+		deltas = append(deltas, diffSpec(os_, ns, th)...)
+	}
+	for _, s := range old.Specs {
+		if !matched[s.Name] {
+			warnings = append(warnings, fmt.Sprintf("spec %s only in old artifact", s.Name))
+		}
+	}
+	return deltas, warnings
+}
+
+// direction of a metric: +1 when an increase is bad (times, allocs),
+// -1 when a decrease is bad (throughput, hit rate).
+type direction int
+
+const (
+	increaseBad direction = +1
+	decreaseBad direction = -1
+)
+
+func diffSpec(old, new_ *SpecResult, th Thresholds) []Delta {
+	var out []Delta
+	cmp := func(metric string, ov, nv []float64, relTh float64, dir direction, absFloor float64) {
+		d := compare(old.Name, metric, ov, nv, relTh, th.MADK, dir, absFloor)
+		out = append(out, d)
+	}
+	cmp("wall", repField(old.Reps, func(r Rep) float64 { return float64(r.WallNs) }),
+		repField(new_.Reps, func(r Rep) float64 { return float64(r.WallNs) }), th.Wall, increaseBad, 0)
+	cmp("evals_per_sec", repField(old.Reps, func(r Rep) float64 { return r.EvalsPerSec }),
+		repField(new_.Reps, func(r Rep) float64 { return r.EvalsPerSec }), th.Evals, decreaseBad, 0)
+	cmp("allocs", repField(old.Reps, func(r Rep) float64 { return float64(r.Allocs) }),
+		repField(new_.Reps, func(r Rep) float64 { return float64(r.Allocs) }), th.Allocs, increaseBad, 0)
+
+	// Cache hit rate gates on absolute percentage-point movement: relative
+	// deltas explode when the baseline rate is near zero.
+	oc := repField(old.Reps, func(r Rep) float64 { return r.CacheHitRate })
+	nc := repField(new_.Reps, func(r Rep) float64 { return r.CacheHitRate })
+	d := compareAbs(old.Name, "cache_hit_rate", oc, nc, th.Cache, th.MADK)
+	out = append(out, d)
+
+	phases := []struct {
+		name string
+		get  func(PhaseNs) int64
+	}{
+		{"mobility", func(p PhaseNs) int64 { return p.Mobility }},
+		{"core_alloc", func(p PhaseNs) int64 { return p.CoreAlloc }},
+		{"list_sched", func(p PhaseNs) int64 { return p.ListSched }},
+		{"comm_map", func(p PhaseNs) int64 { return p.CommMap }},
+		{"dvs", func(p PhaseNs) int64 { return p.DVS }},
+		{"refine", func(p PhaseNs) int64 { return p.Refine }},
+	}
+	for _, ph := range phases {
+		ov := repField(old.Reps, func(r Rep) float64 { return float64(ph.get(r.Phases)) })
+		nv := repField(new_.Reps, func(r Rep) float64 { return float64(ph.get(r.Phases)) })
+		cmp("phase."+ph.name, ov, nv, th.Phase, increaseBad, float64(th.MinPhaseNs))
+	}
+	return out
+}
+
+// compare builds the delta for one relative-thresholded metric. absFloor,
+// when positive, suppresses the verdict while both medians sit below it.
+func compare(spec, metric string, ov, nv []float64, relTh, madK float64, dir direction, absFloor float64) Delta {
+	oMed, oMAD := medianMAD(ov)
+	nMed, nMAD := medianMAD(nv)
+	d := Delta{Spec: spec, Metric: metric, Old: oMed, New: nMed, Noise: madK * math.Max(oMAD, nMAD)}
+	if oMed == 0 {
+		d.Rel = math.NaN()
+		return d // no baseline: nothing to certify either way
+	}
+	d.Rel = (nMed - oMed) / oMed
+	if absFloor > 0 && oMed < absFloor && nMed < absFloor {
+		return d
+	}
+	diff := nMed - oMed
+	if math.Abs(diff) <= d.Noise {
+		return d // inside the noise gate
+	}
+	bad := float64(dir) * d.Rel
+	if bad > relTh {
+		d.Regressed = true
+	} else if bad < -relTh {
+		d.Improved = true
+	}
+	return d
+}
+
+// compareAbs gates on absolute movement of the medians (for rates in [0,1]).
+func compareAbs(spec, metric string, ov, nv []float64, absTh, madK float64) Delta {
+	oMed, oMAD := medianMAD(ov)
+	nMed, nMAD := medianMAD(nv)
+	d := Delta{Spec: spec, Metric: metric, Old: oMed, New: nMed, Noise: madK * math.Max(oMAD, nMAD)}
+	if oMed != 0 {
+		d.Rel = (nMed - oMed) / oMed
+	} else {
+		d.Rel = math.NaN()
+	}
+	diff := nMed - oMed
+	if math.Abs(diff) <= d.Noise {
+		return d
+	}
+	if diff < -absTh {
+		d.Regressed = true
+	} else if diff > absTh {
+		d.Improved = true
+	}
+	return d
+}
+
+// Regressions filters the deltas down to certified regressions.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatDeltas renders the delta table. verbose includes unchanged rows;
+// otherwise only regressions, improvements, and the headline wall /
+// evals_per_sec rows per spec appear.
+func FormatDeltas(w io.Writer, deltas []Delta, warnings []string, verbose bool) {
+	for _, warn := range warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SPEC\tMETRIC\tOLD\tNEW\tDELTA\tVERDICT")
+	for _, d := range deltas {
+		headline := d.Metric == "wall" || d.Metric == "evals_per_sec"
+		if !verbose && !d.Regressed && !d.Improved && !headline {
+			continue
+		}
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		} else if d.Improved {
+			verdict = "improved"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			d.Spec, d.Metric, formatValue(d.Metric, d.Old), formatValue(d.Metric, d.New),
+			formatRel(d.Rel), verdict)
+	}
+	tw.Flush()
+}
+
+func formatValue(metric string, v float64) string {
+	switch {
+	case metric == "wall" || strings.HasPrefix(metric, "phase."):
+		return formatNs(v)
+	case metric == "cache_hit_rate":
+		return fmt.Sprintf("%.1f%%", v*100)
+	case metric == "evals_per_sec":
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func formatNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func formatRel(rel float64) string {
+	if math.IsNaN(rel) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", rel*100)
+}
+
+// medianMAD returns the median and the median absolute deviation of vs.
+// Both are 0 for an empty slice.
+func medianMAD(vs []float64) (med, mad float64) {
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	med = median(vs)
+	devs := make([]float64, len(vs))
+	for i, v := range vs {
+		devs[i] = math.Abs(v - med)
+	}
+	return med, median(devs)
+}
+
+// median returns the middle value (mean of the middle two for even n)
+// without mutating vs.
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func medianInt64(vs []int64) int64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	fs := make([]float64, len(vs))
+	for i, v := range vs {
+		fs[i] = float64(v)
+	}
+	return int64(median(fs))
+}
+
+func repField(reps []Rep, get func(Rep) float64) []float64 {
+	out := make([]float64, len(reps))
+	for i, r := range reps {
+		out[i] = get(r)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// accessRecord is one line of the structured JSON access log.
+type accessRecord struct {
+	Time   string `json:"time"`
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Status int    `json:"status"`
+	// DurationMS is the handler wall time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	Bytes      int64   `json:"bytes,omitempty"`
+	// Job is the job the request addressed ({id} routes) or created
+	// (POST /v1/jobs, read back from the Location header); empty for
+	// job-less endpoints.
+	Job    string `json:"job,omitempty"`
+	Remote string `json:"remote,omitempty"`
+}
+
+// accessLogger writes one JSON line per handled request. Lines are
+// marshalled outside the lock; the mutex only serialises the final write
+// so concurrent requests never interleave bytes.
+type accessLogger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	next http.Handler
+}
+
+func newAccessLogger(w io.Writer, next http.Handler) http.Handler {
+	return &accessLogger{w: w, next: next}
+}
+
+func (l *accessLogger) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := &statusRecorder{ResponseWriter: w}
+	start := time.Now()
+	l.next.ServeHTTP(rec, r)
+	line := accessRecord{
+		Time:       start.UTC().Format(time.RFC3339Nano),
+		Method:     r.Method,
+		Path:       r.URL.Path,
+		Status:     rec.Status(),
+		DurationMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+		Bytes:      rec.bytes,
+		Job:        requestJobID(r, rec),
+		Remote:     r.RemoteAddr,
+	}
+	data, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(data)
+	l.mu.Unlock()
+}
+
+// requestJobID extracts the job a request was about: the {id} path value
+// the mux bound during routing, or — for submissions — the id of the job
+// the handler created, read back from its Location header.
+func requestJobID(r *http.Request, rec *statusRecorder) string {
+	if id := r.PathValue("id"); id != "" {
+		return id
+	}
+	if loc := rec.Header().Get("Location"); loc != "" {
+		if id, ok := strings.CutPrefix(loc, "/v1/jobs/"); ok {
+			return id
+		}
+	}
+	return ""
+}
+
+// statusRecorder captures the response status and body size while passing
+// Flush and Hijack through to the underlying writer (the metrics endpoint
+// hijacks the connection to signal a failed snapshot write).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (s *statusRecorder) Status() int {
+	if s.status == 0 {
+		return http.StatusOK
+	}
+	return s.status
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(p []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	n, err := s.ResponseWriter.Write(p)
+	s.bytes += int64(n)
+	return n, err
+}
+
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if hj, ok := s.ResponseWriter.(http.Hijacker); ok {
+		return hj.Hijack()
+	}
+	return nil, nil, errors.New("serve: underlying ResponseWriter does not support hijacking")
+}

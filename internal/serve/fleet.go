@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"momosyn/internal/fleet"
+	"momosyn/internal/obs"
 	"momosyn/internal/runctl"
 	"momosyn/internal/synth"
 )
@@ -222,6 +223,11 @@ func (j *Job) applyManifest(m *manifest) {
 }
 
 func (j *Job) applyManifestLocked(m *manifest) {
+	if j.state != m.State {
+		// A remote transition: restart the local dwell clock so span
+		// events emitted here attribute time from when we observed it.
+		j.transitioned = time.Now()
+	}
 	j.state = m.State
 	j.err = m.Error
 	j.created = m.Created
@@ -304,6 +310,7 @@ func (s *Server) claimJob(j *Job) bool {
 	}
 	j.mu.Lock()
 	terminal := j.state.Terminal()
+	prev := j.state
 	// A stolen running manifest means the previous holder's execution died
 	// with it (crash, hang, partition): that attempt is spent. The counter
 	// rides the manifests, so a poison job burns one budget fleet-wide no
@@ -328,7 +335,13 @@ func (s *Server) claimJob(j *Job) bool {
 		j.err = quarantineCause(attempts, fmt.Errorf("attempt died with its node (last error: %s)", orNone(lastErr)))
 		j.finished = time.Now()
 		j.node = s.cfg.NodeID
+		cause := j.err
+		var dwellNs int64
+		if s.lifecycleTracing() {
+			dwellNs = j.dwellLocked(j.finished)
+		}
 		j.mu.Unlock()
+		s.emitTerminal(j, prev, StateQuarantined, attempts, dwellNs, lease.Epoch, cause)
 		if data, merr := s.fleetManifest(j, lease.Epoch); merr == nil {
 			if werr := lease.Write(fleet.KindManifest, data); werr != nil {
 				s.logf("serve: fleet: quarantine %s: %v", j.ID, werr)
@@ -349,7 +362,12 @@ func (s *Server) claimJob(j *Job) bool {
 		j.finished = time.Now()
 		j.cancelRequested = true
 		j.node = s.cfg.NodeID
+		var dwellNs int64
+		if s.lifecycleTracing() {
+			dwellNs = j.dwellLocked(j.finished)
+		}
 		j.mu.Unlock()
+		s.emitTerminal(j, prev, StateCancelled, attempts, dwellNs, lease.Epoch, "cancelled by client")
 		if data, merr := s.fleetManifest(j, lease.Epoch); merr == nil {
 			if werr := lease.Write(fleet.KindManifest, data); werr != nil {
 				s.logf("serve: fleet: cancel %s: %v", j.ID, werr)
@@ -362,7 +380,21 @@ func (s *Server) claimJob(j *Job) bool {
 	j.mu.Lock()
 	j.state = StateQueued
 	j.node = s.cfg.NodeID
+	var claimDwell int64
+	if s.lifecycleTracing() {
+		claimDwell = j.dwellLocked(time.Now())
+	}
 	j.mu.Unlock()
+	if s.lifecycleTracing() {
+		ev := obs.JobClaimed
+		if stolenRunning {
+			ev = obs.JobStolen
+		}
+		s.emitJobSpan(obs.JobEvent{Job: j.ID, Event: ev,
+			From: string(prev), State: string(StateQueued),
+			Attempt: attempts, DwellNs: claimDwell,
+			Node: s.cfg.NodeID, Epoch: lease.Epoch})
+	}
 	if stolenRunning {
 		// Make the consumed attempt durable (as queued, at our epoch) before
 		// the job runs again, so a chain of node deaths cannot launder the
@@ -484,12 +516,26 @@ func (s *Server) fence(j *Job, cancelJob context.CancelCauseFunc, cause error) {
 	j.mu.Lock()
 	already := j.fenced
 	j.fenced = true
+	state := j.state
+	epoch := 0
+	if j.lease != nil {
+		epoch = j.lease.Epoch
+	}
+	var dwellNs int64
+	if !already && s.lifecycleTracing() {
+		dwellNs = j.dwellLocked(time.Now())
+	}
 	j.mu.Unlock()
 	if already {
 		return
 	}
 	s.reg.Counter("serve.jobs_fenced").Inc()
 	s.logf("serve: fleet: job %s fenced: %v", j.ID, cause)
+	if s.lifecycleTracing() {
+		s.emitJobSpan(obs.JobEvent{Job: j.ID, Event: obs.JobFenced,
+			From: string(state), DwellNs: dwellNs, Node: s.cfg.NodeID,
+			Epoch: epoch, Detail: cause.Error()})
+	}
 	if cancelJob != nil {
 		cancelJob(cause)
 	}

@@ -120,6 +120,10 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// transitioned is when the job last changed state, feeding the
+	// dwell-time attribution of lifecycle span events; zero means "use
+	// created".
+	transitioned time.Time
 	// resumedFrom is the checkpointed generation the current (or last) run
 	// continued from; 0 for fresh runs.
 	resumedFrom int

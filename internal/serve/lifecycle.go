@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"time"
+
+	"momosyn/internal/obs"
+)
+
+// Job-lifecycle span events. When Config.Lifecycle carries a tracing obs
+// run, the server emits one structured `job` event into its JSONL stream
+// at every lifecycle edge: submitted → queued → claimed → attempt N →
+// checkpoint → stolen/fenced → terminal. Each transition event names the
+// state being left (from), the state entered (state) and the wall-clock
+// time spent in the left state (dwell_ns), so `mmtrace -lifecycle` can
+// build per-state dwell tables by a straight group-by on `from`.
+// Checkpoint events are instantaneous markers whose dwell_ns is the save
+// duration; they do not touch the job's transition clock.
+//
+// The whole facility is zero-cost when off: every site guards on
+// lifecycleTracing() before computing dwell times or building events, and
+// obs.Run.EmitJob's split fast path keeps the event struct on the stack
+// (see the AllocsPerRun pin in the obs tests). Events are always emitted
+// after j.mu is released — the sink does I/O.
+
+// lifecycleTracing reports whether lifecycle span events are recorded.
+func (s *Server) lifecycleTracing() bool { return s.cfg.Lifecycle.Tracing() }
+
+// emitJobSpan forwards one lifecycle event to the configured run;
+// nil-safe and allocation-free when tracing is off.
+func (s *Server) emitJobSpan(e obs.JobEvent) { s.cfg.Lifecycle.EmitJob(e) }
+
+// dwellLocked returns the nanoseconds the job spent in its current state
+// and restarts the dwell clock at now. j.mu must be held. The first call
+// after construction measures from creation time.
+func (j *Job) dwellLocked(now time.Time) int64 {
+	prev := j.transitioned
+	if prev.IsZero() {
+		prev = j.created
+	}
+	j.transitioned = now
+	if prev.IsZero() || now.Before(prev) {
+		return 0
+	}
+	return now.Sub(prev).Nanoseconds()
+}
+
+// emitTerminal emits the terminal lifecycle event for a job that just
+// left `from` for terminal state `state`.
+func (s *Server) emitTerminal(j *Job, from, state State, attempt int, dwellNs int64, epoch int, detail string) {
+	if !s.lifecycleTracing() {
+		return
+	}
+	s.emitJobSpan(obs.JobEvent{
+		Job: j.ID, Event: obs.JobTerminal,
+		From: string(from), State: string(state),
+		Attempt: attempt, DwellNs: dwellNs,
+		Node: s.cfg.NodeID, Epoch: epoch, Detail: detail,
+	})
+}

@@ -71,6 +71,16 @@ type Config struct {
 	// Registry receives the server metrics (created when nil); it backs
 	// GET /metrics.
 	Registry *obs.Registry
+	// Lifecycle, when it carries a tracing obs run, receives one `job`
+	// span event per lifecycle edge (submitted, attempt, checkpoint,
+	// claimed/stolen, fenced, terminal) in its JSONL trace stream; nil or
+	// a non-tracing run disables emission at zero cost. See
+	// docs/OBSERVABILITY.md.
+	Lifecycle *obs.Run
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// handled HTTP request (method, path, status, duration, job id when
+	// one is involved). Off by default.
+	AccessLog io.Writer
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 
@@ -280,6 +290,10 @@ func New(cfg Config) (*Server, error) {
 	s.queue = make(chan *Job, depth)
 	for _, j := range requeue {
 		s.queue <- j
+		if s.lifecycleTracing() {
+			s.emitJobSpan(obs.JobEvent{Job: j.ID, Event: obs.JobQueued,
+				State: string(StateQueued), Detail: "recovered at restart"})
+		}
 	}
 	s.qDepth.Set(float64(len(s.queue)))
 	s.jobsByState()
@@ -421,7 +435,21 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	j.cancel = cancel
 	lease := j.lease
 	created := j.created
+	attempt := j.attempts + 1
+	var queuedNs int64
+	if s.lifecycleTracing() {
+		queuedNs = j.dwellLocked(j.started)
+	}
 	j.mu.Unlock()
+	if s.lifecycleTracing() {
+		e := obs.JobEvent{Job: j.ID, Event: obs.JobAttempt,
+			From: string(StateQueued), State: string(StateRunning),
+			Attempt: attempt, DwellNs: queuedNs, Node: s.cfg.NodeID}
+		if lease != nil {
+			e.Epoch = lease.Epoch
+		}
+		s.emitJobSpan(e)
+	}
 	s.reg.Counter("serve.attempts_total").Inc()
 	// The execution context: the job context (worker pool + client cancel +
 	// watchdog) further bounded by the tighter of the server's per-attempt
@@ -510,6 +538,12 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		}
 	}
 
+	if lease != nil && errors.Is(err, fleet.ErrLeaseLost) {
+		// A fence surfaced through the synthesis error instead of the
+		// heartbeat: record it the same way (fence is idempotent).
+		s.fence(j, nil, err)
+	}
+
 	// Classify the outcome.
 	j.mu.Lock()
 	j.cancel = nil
@@ -584,8 +618,33 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	}
 	state := j.state
 	attempts := j.attempts
+	jobErr := j.err
+	var dwellNs int64
+	if s.lifecycleTracing() {
+		dwellNs = j.dwellLocked(now)
+	}
 	j.mu.Unlock()
 	s.persist(j)
+	if s.lifecycleTracing() {
+		epoch := 0
+		if lease != nil {
+			epoch = lease.Epoch
+		}
+		switch {
+		case state.Terminal():
+			s.emitTerminal(j, StateRunning, state, attempts, dwellNs, epoch, jobErr)
+		case retryIn > 0:
+			s.emitJobSpan(obs.JobEvent{Job: j.ID, Event: obs.JobRetry,
+				From: string(StateRunning), State: string(StateQueued),
+				Attempt: attempts, DwellNs: dwellNs, Node: s.cfg.NodeID, Epoch: epoch,
+				Detail: fmt.Sprintf("retrying in %v: %v", retryIn, err)})
+		default:
+			// Drained back to queued for the next server (or worker).
+			s.emitJobSpan(obs.JobEvent{Job: j.ID, Event: obs.JobQueued,
+				From: string(StateRunning), State: string(StateQueued),
+				DwellNs: dwellNs, Node: s.cfg.NodeID, Epoch: epoch, Detail: "drained"})
+		}
+	}
 
 	switch state {
 	case StateDone:
@@ -724,6 +783,31 @@ func (s *Server) synthesize(ctx context.Context, j *Job, run *obs.Run) (*model.S
 			os.Remove(ckpt)
 		}
 	}
+	if s.lifecycleTracing() && opts.CheckpointPath != "" {
+		// Wrap the save hook so every checkpoint write becomes a span
+		// event carrying the save duration (dwell_ns); checkpoint events
+		// do not advance the job's transition clock.
+		inner := opts.CheckpointSave
+		if inner == nil {
+			inner = runctl.Save
+		}
+		epoch := 0
+		if lease != nil {
+			epoch = lease.Epoch
+		}
+		opts.CheckpointSave = func(p string, cp *runctl.Checkpoint) error {
+			begin := time.Now()
+			serr := inner(p, cp)
+			e := obs.JobEvent{Job: j.ID, Event: obs.JobCheckpoint,
+				State: string(StateRunning), DwellNs: time.Since(begin).Nanoseconds(),
+				Node: s.cfg.NodeID, Epoch: epoch}
+			if serr != nil {
+				e.Detail = serr.Error()
+			}
+			s.emitJobSpan(e)
+			return serr
+		}
+	}
 	res, err := safeSynthesize(sys, opts)
 	if err != nil && opts.Resume && !errors.Is(err, fleet.ErrLeaseLost) {
 		s.logf("serve: job %s: resume failed (%v), restarting from generation 0", j.ID, err)
@@ -754,25 +838,65 @@ func safeSynthesize(sys *model.System, opts synth.Options) (res *synth.Result, e
 
 // ---- HTTP API ----
 
-// Handler returns the HTTP API mux.
+// Handler returns the HTTP API mux. Every route is wrapped in a
+// per-endpoint latency histogram (serve.http_seconds.<method_path>); with
+// Config.AccessLog set the whole mux additionally sits behind the
+// structured access logger.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle := func(pattern string, h http.Handler) {
+		hist := s.reg.Histogram("serve.http_seconds."+routeMetric(pattern), obs.DefTimeBuckets)
+		mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h.ServeHTTP(w, r)
+			hist.ObserveDuration(time.Since(start))
+		}))
+	}
+	handle("POST /v1/jobs", http.HandlerFunc(s.handleSubmit))
+	handle("GET /v1/jobs", http.HandlerFunc(s.handleList))
+	handle("GET /v1/jobs/{id}", http.HandlerFunc(s.handleStatus))
+	handle("GET /v1/jobs/{id}/result", http.HandlerFunc(s.handleResult))
+	handle("DELETE /v1/jobs/{id}", http.HandlerFunc(s.handleCancel))
+	handle("GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
-	})
-	mux.HandleFunc("GET /readyz", s.handleReady)
-	mux.Handle("GET /metrics", s.reg)
+	}))
+	handle("GET /readyz", http.HandlerFunc(s.handleReady))
+	handle("GET /metrics", s.reg)
 	requests := s.reg.Counter("serve.http_requests")
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	var h http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		requests.Inc()
 		mux.ServeHTTP(w, r)
 	})
+	if s.cfg.AccessLog != nil {
+		h = newAccessLogger(s.cfg.AccessLog, h)
+	}
+	return h
+}
+
+// routeMetric renders a mux pattern as a metric-name segment:
+// "GET /v1/jobs/{id}" → "get_v1_jobs_id".
+func routeMetric(pattern string) string {
+	out := make([]byte, 0, len(pattern))
+	for i := 0; i < len(pattern); i++ {
+		c := pattern[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			out = append(out, c)
+		case c == '{' || c == '}':
+			// drop wildcard braces: {id} → id
+		default:
+			if len(out) > 0 && out[len(out)-1] != '_' {
+				out = append(out, '_')
+			}
+		}
+	}
+	for len(out) > 0 && out[len(out)-1] == '_' {
+		out = out[:len(out)-1]
+	}
+	return string(out)
 }
 
 // ReadyView is the JSON body of GET /readyz: a structured readiness
@@ -1007,6 +1131,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.reg.Counter("serve.jobs_submitted").Inc()
+		if s.lifecycleTracing() {
+			s.emitJobSpan(obs.JobEvent{Job: j.ID, Event: obs.JobSubmitted,
+				State: string(StateQueued), Node: s.cfg.NodeID})
+		}
 		view := SubmitView{StatusView: j.status(j.system)}
 		for _, wn := range warns {
 			view.Warnings = append(view.Warnings, wn.String())
@@ -1050,6 +1178,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobsByState()
 	s.mu.Unlock()
 	s.reg.Counter("serve.jobs_submitted").Inc()
+	if s.lifecycleTracing() {
+		s.emitJobSpan(obs.JobEvent{Job: id, Event: obs.JobSubmitted,
+			State: string(StateQueued)})
+	}
 
 	view := SubmitView{StatusView: j.status(j.system)}
 	for _, wn := range warns {
@@ -1210,6 +1342,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		// Was still queued: terminal on the spot.
 		s.persist(j)
 		s.reg.Counter("serve.jobs_cancelled").Inc()
+		if s.lifecycleTracing() {
+			j.mu.Lock()
+			dwellNs := j.dwellLocked(time.Now())
+			j.mu.Unlock()
+			s.emitTerminal(j, StateQueued, StateCancelled, 0, dwellNs, 0, "cancelled by client")
+		}
 		s.mu.Lock()
 		s.jobsByState()
 		s.mu.Unlock()

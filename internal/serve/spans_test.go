@@ -1,0 +1,391 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"momosyn/internal/obs"
+	"momosyn/internal/serve"
+)
+
+// syncBuf is a concurrency-safe byte buffer: the access logger writes from
+// handler goroutines while the test reads from its own.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// jobEvents filters a trace stream down to the lifecycle spans of one job.
+func jobEvents(t *testing.T, events []*obs.Event, id string) []*obs.JobEvent {
+	t.Helper()
+	var out []*obs.JobEvent
+	for _, ev := range events {
+		if ev.Ev != obs.EvJob {
+			continue
+		}
+		if err := obs.ValidateEvent(ev); err != nil {
+			t.Fatalf("invalid job event: %v", err)
+		}
+		if ev.Job.Job == id {
+			out = append(out, ev.Job)
+		}
+	}
+	return out
+}
+
+// TestLifecycleSpans runs a job end to end with lifecycle tracing on and
+// checks the span stream: submitted → attempt → checkpoint(s) → terminal,
+// every event schema-valid, with dwell time attributed to the state left.
+func TestLifecycleSpans(t *testing.T) {
+	var trace bytes.Buffer
+	sink := obs.NewJSONLSink(&trace)
+	run := obs.NewRun(nil, sink)
+
+	spec := tinySpec(t)
+	s := newServer(t, serve.Config{
+		Workers: 1, QueueDepth: 8,
+		CheckpointEvery: 1,
+		Lifecycle:       run,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	a := newAPI(t, s)
+
+	j := a.submit(quickJob(spec, 11))
+	a.await(j.ID, "done", stateIs(serve.StateDone))
+
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatalf("close trace: %v", err)
+	}
+
+	events, err := obs.ReadEvents(bytes.NewReader(trace.Bytes()))
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	spans := jobEvents(t, events, j.ID)
+	if len(spans) < 3 {
+		t.Fatalf("got %d spans, want at least submitted+attempt+terminal: %+v", len(spans), spans)
+	}
+
+	// The stream opens with submission into the queue and closes terminal.
+	first, last := spans[0], spans[len(spans)-1]
+	if first.Event != obs.JobSubmitted || first.State != string(serve.StateQueued) {
+		t.Fatalf("first span = %+v, want submitted into queued", first)
+	}
+	if first.From != "" {
+		t.Fatalf("submitted span leaves state %q, want none", first.From)
+	}
+	if last.Event != obs.JobTerminal || last.State != string(serve.StateDone) {
+		t.Fatalf("last span = %+v, want terminal done", last)
+	}
+	if last.From != string(serve.StateRunning) || last.DwellNs <= 0 {
+		t.Fatalf("terminal span = %+v, want positive dwell attributed to running", last)
+	}
+
+	var attempts, checkpoints int
+	for _, sp := range spans {
+		switch sp.Event {
+		case obs.JobAttempt:
+			attempts++
+			if sp.From != string(serve.StateQueued) || sp.State != string(serve.StateRunning) {
+				t.Fatalf("attempt span = %+v, want queued→running", sp)
+			}
+			if sp.Attempt != 1 {
+				t.Fatalf("attempt span numbered %d, want 1 on the happy path", sp.Attempt)
+			}
+			if sp.DwellNs < 0 {
+				t.Fatalf("attempt span with negative queue dwell: %+v", sp)
+			}
+		case obs.JobCheckpoint:
+			checkpoints++
+			if sp.DwellNs <= 0 {
+				t.Fatalf("checkpoint span without a save duration: %+v", sp)
+			}
+		}
+	}
+	if attempts != 1 {
+		t.Fatalf("got %d attempt spans, want exactly 1", attempts)
+	}
+	if checkpoints == 0 {
+		t.Fatalf("no checkpoint spans with CheckpointEvery=1: %+v", spans)
+	}
+}
+
+// TestCancelQueuedSpan cancels a job that never ran (no workers started)
+// and expects a terminal span attributing the whole dwell to the queue.
+func TestCancelQueuedSpan(t *testing.T) {
+	sink := &obs.CollectSink{}
+	run := obs.NewRun(nil, sink)
+
+	spec := tinySpec(t)
+	s := newServer(t, serve.Config{Workers: 1, QueueDepth: 8, Lifecycle: run})
+	a := newAPI(t, s)
+
+	j := a.submit(quickJob(spec, 5))
+	if resp := a.do("DELETE", "/v1/jobs/"+j.ID, nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+
+	spans := jobEvents(t, sink.Events(), j.ID)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want submitted+terminal: %+v", len(spans), spans)
+	}
+	term := spans[1]
+	if term.Event != obs.JobTerminal || term.State != string(serve.StateCancelled) {
+		t.Fatalf("second span = %+v, want terminal cancelled", term)
+	}
+	if term.From != string(serve.StateQueued) || term.DwellNs < 0 {
+		t.Fatalf("terminal span = %+v, want dwell attributed to queued", term)
+	}
+	if term.Detail == "" {
+		t.Fatalf("terminal cancellation span without a cause: %+v", term)
+	}
+}
+
+// TestAccessLog checks the structured access log: one JSON line per
+// request, with the job id on both the submission (via Location) and the
+// {id} routes, and nothing at all when the log is disabled.
+func TestAccessLog(t *testing.T) {
+	logBuf := &syncBuf{}
+	spec := tinySpec(t)
+	s := newServer(t, serve.Config{Workers: 1, QueueDepth: 8, AccessLog: logBuf})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	a := newAPI(t, s)
+
+	j := a.submit(quickJob(spec, 7))
+	a.await(j.ID, "done", stateIs(serve.StateDone))
+	if resp := a.do("GET", "/healthz", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	// The log line lands just after the response is flushed to the client,
+	// so wait for the last request to appear before parsing the log.
+	for deadline := time.Now().Add(5 * time.Second); !strings.Contains(logBuf.String(), "/healthz"); {
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never reached the access log:\n%s", logBuf.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	type record struct {
+		Time       string  `json:"time"`
+		Method     string  `json:"method"`
+		Path       string  `json:"path"`
+		Status     int     `json:"status"`
+		DurationMS float64 `json:"duration_ms"`
+		Bytes      int64   `json:"bytes"`
+		Job        string  `json:"job"`
+		Remote     string  `json:"remote"`
+	}
+	var records []record
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var r record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("access log line %q: %v", line, err)
+		}
+		records = append(records, r)
+	}
+
+	byPath := func(method, path string) *record {
+		for i := range records {
+			if records[i].Method == method && records[i].Path == path {
+				return &records[i]
+			}
+		}
+		return nil
+	}
+	submit := byPath("POST", "/v1/jobs")
+	if submit == nil {
+		t.Fatalf("no access-log line for the submission; log:\n%s", logBuf.String())
+	}
+	if submit.Status != http.StatusAccepted || submit.Job != j.ID {
+		t.Fatalf("submission line = %+v, want 202 with job %s (from Location)", submit, j.ID)
+	}
+	if submit.DurationMS < 0 || submit.Bytes <= 0 || submit.Time == "" {
+		t.Fatalf("submission line missing timing/size: %+v", submit)
+	}
+	status := byPath("GET", "/v1/jobs/"+j.ID)
+	if status == nil || status.Job != j.ID || status.Status != http.StatusOK {
+		t.Fatalf("status line = %+v, want 200 with job %s (from path)", status, j.ID)
+	}
+	health := byPath("GET", "/healthz")
+	if health == nil || health.Job != "" {
+		t.Fatalf("healthz line = %+v, want job-less entry", health)
+	}
+	// Every request the test made appears exactly once.
+	if polls := countWhere(records, func(r record) bool {
+		return r.Method == "GET" && r.Path == "/v1/jobs/"+j.ID
+	}); polls < 1 {
+		t.Fatalf("status polls missing from access log")
+	}
+
+	// Disabled log: the same traffic writes nothing anywhere.
+	s2 := newServer(t, serve.Config{Workers: 1, QueueDepth: 8})
+	a2 := newAPI(t, s2)
+	if resp := a2.do("GET", "/healthz", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+}
+
+func countWhere[T any](xs []T, pred func(T) bool) int {
+	n := 0
+	for _, x := range xs {
+		if pred(x) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestEndpointLatencyHistograms checks that each route records its handler
+// latency into a per-endpoint histogram in the server registry.
+func TestEndpointLatencyHistograms(t *testing.T) {
+	spec := tinySpec(t)
+	s := newServer(t, serve.Config{Workers: 1, QueueDepth: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	a := newAPI(t, s)
+
+	j := a.submit(quickJob(spec, 3))
+	a.await(j.ID, "done", stateIs(serve.StateDone))
+	a.do("GET", "/healthz", nil, nil)
+	a.do("GET", "/v1/jobs", nil, nil)
+
+	var snap struct {
+		Histograms map[string]struct {
+			Count  uint64    `json:"count"`
+			Sum    obs.Float `json:"sum"`
+			Bounds []float64 `json:"bounds"`
+			Counts []uint64  `json:"counts"`
+		} `json:"histograms"`
+	}
+	resp := a.do("GET", "/metrics", nil, &snap)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	for _, name := range []string{
+		"serve.http_seconds.post_v1_jobs",
+		"serve.http_seconds.get_v1_jobs",
+		"serve.http_seconds.get_v1_jobs_id",
+		"serve.http_seconds.get_healthz",
+	} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Fatalf("histogram %q missing from /metrics", name)
+		}
+		if h.Count == 0 {
+			t.Fatalf("histogram %q recorded no observations", name)
+		}
+		if len(h.Counts) != len(h.Bounds)+1 {
+			t.Fatalf("histogram %q has %d counts for %d bounds", name, len(h.Counts), len(h.Bounds))
+		}
+		var total uint64
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total != h.Count {
+			t.Fatalf("histogram %q bucket counts sum to %d, want %d", name, total, h.Count)
+		}
+	}
+	// Routes never hit stay present (registered eagerly) but empty.
+	if h, ok := snap.Histograms["serve.http_seconds.delete_v1_jobs_id"]; ok && h.Count != 0 {
+		t.Fatalf("DELETE histogram counted %d requests, none were made", h.Count)
+	}
+}
+
+// TestMetricsPrometheusNegotiation checks Accept-driven content
+// negotiation on /metrics: JSON stays the default, text/plain gets the
+// Prometheus 0.0.4 exposition with consistent histogram series.
+func TestMetricsPrometheusNegotiation(t *testing.T) {
+	s := newServer(t, serve.Config{Workers: 1, QueueDepth: 8})
+	a := newAPI(t, s)
+
+	// A couple of requests so the histograms have observations.
+	a.do("GET", "/healthz", nil, nil)
+	a.do("GET", "/v1/jobs", nil, nil)
+
+	// Default (no Accept preference): JSON, as before.
+	var js map[string]json.RawMessage
+	resp := a.do("GET", "/metrics", nil, &js)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("default /metrics content type = %q, want JSON", ct)
+	}
+	for _, key := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := js[key]; !ok {
+			t.Fatalf("JSON snapshot missing %q section", key)
+		}
+	}
+
+	// Accept: text/plain → Prometheus exposition.
+	req, err := http.NewRequest("GET", a.ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	presp, err := a.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	if ct := presp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("prometheus content type = %q, want %q", ct, obs.PromContentType)
+	}
+	body, err := io.ReadAll(presp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	for _, want := range []string{
+		"# TYPE serve_http_requests counter",
+		"# TYPE serve_workers gauge",
+		"# TYPE serve_http_seconds_get_healthz histogram",
+		`serve_http_seconds_get_healthz_bucket{le="+Inf"}`,
+		"serve_http_seconds_get_healthz_sum",
+		"serve_http_seconds_get_healthz_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Cumulative buckets: the +Inf bucket equals the series count.
+	var infBucket, count string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `serve_http_seconds_get_healthz_bucket{le="+Inf"} `) {
+			infBucket = strings.Fields(line)[1]
+		}
+		if strings.HasPrefix(line, "serve_http_seconds_get_healthz_count ") {
+			count = strings.Fields(line)[1]
+		}
+	}
+	if infBucket == "" || infBucket != count {
+		t.Fatalf("+Inf bucket %q != count %q", infBucket, count)
+	}
+}

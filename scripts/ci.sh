@@ -57,6 +57,12 @@ echo "==> serve smoke (mmserved job service)"
 echo "==> fleet chaos smoke (mmserved multi-node node-loss recovery)"
 ./scripts/fleet_chaos_smoke.sh
 
+# Performance-trajectory smoke: mmperf run + self-diff (exit 0) + a
+# synthetic regression the gate must flag (exit 1), then one mmserved job
+# with lifecycle tracing and the access log, validated by mmtrace.
+echo "==> perf smoke (mmperf run/diff, mmserved -lifecycle-trace)"
+./scripts/perf_smoke.sh
+
 # Certification sweep: every benchmark spec through `mmsynth -certify` at
 # a small GA budget, plus a fault-injection negative control (exit 4).
 echo "==> certify (specs/ through mmsynth -certify)"
