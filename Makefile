@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench-pins fuzz-smoke trace-smoke serve-smoke fleet-smoke perf-smoke certify bench ci
+.PHONY: all build test race vet lint bench-pins fuzz-smoke trace-smoke serve-smoke fleet-smoke cache-smoke perf-smoke certify bench ci
 
 all: build
 
@@ -39,6 +39,7 @@ bench-pins:
 # cannot stall the run (see scripts/ci.sh).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRead -fuzztime=5s -fuzzminimizetime=5s ./internal/specio
+	$(GO) test -run='^$$' -fuzz=FuzzCanonical -fuzztime=5s -fuzzminimizetime=5s ./internal/specio
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpoint -fuzztime=5s -fuzzminimizetime=5s ./internal/runctl
 
 # Observability smoke: a traced mmsynth run on a small spec, every JSONL
@@ -58,6 +59,13 @@ serve-smoke:
 # exactly once with certified results. See docs/FLEET.md.
 fleet-smoke:
 	./scripts/fleet_chaos_smoke.sh
+
+# Result-cache smoke: submit, resubmit (must hit, terminal at birth),
+# corrupt the entry (must miss and re-run, never serve bad bytes), then a
+# batch of 6 cells with 2 duplicates (must run exactly 4 jobs). See
+# docs/CACHE.md.
+cache-smoke:
+	./scripts/cache_smoke.sh
 
 # Oracle-check the whole benchmark suite: every spec through
 # `mmsynth -certify` at a small GA budget, plus a fault-injection negative

@@ -56,6 +56,8 @@ func main() {
 		nodeID    = flag.String("node-id", "", "this node's fleet-wide unique ID (default <hostname>-<pid>)")
 		leaseTTL  = flag.Duration("lease-ttl", 5*time.Second, "fleet job lease time-to-live; a node silent this long loses its jobs")
 		heartbeat = flag.Duration("heartbeat", 0, "fleet lease renewal and scan interval (default lease-ttl/3)")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache directory; repeat submissions are answered instantly (fleet default: <fleet-dir>/cache, see docs/CACHE.md)")
+		cacheMax  = flag.Int64("cache-max-bytes", 0, "result cache size cap; least-recently-used entries are evicted beyond it (0 = unbounded)")
 
 		maxAttempts   = flag.Int("max-attempts", 3, "per-job execution budget; a job failing this many times is quarantined")
 		retryBackoff  = flag.Duration("retry-backoff", 2*time.Second, "base delay between a failed attempt and its retry (doubles per failure, capped at 1m)")
@@ -132,6 +134,8 @@ func main() {
 		WatchdogStall:   *watchdogStall,
 		WatchdogGrace:   *watchdogGrace,
 		Failpoints:      *failpoints,
+		CacheDir:        *cacheDir,
+		CacheMaxBytes:   *cacheMax,
 	})
 	if err != nil {
 		logger.Print(err)

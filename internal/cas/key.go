@@ -1,0 +1,53 @@
+// Package cas is the content-addressed store for certified synthesis
+// results. Synthesis is deterministic given (spec, seed, options): the
+// same submission always produces the same certified result, so results
+// are stored under a SHA-256 key derived from the canonical spec bytes
+// (specio.Canonical), the canonical options encoding
+// (synth.CanonicalOptions) and the engine version. Repeat submissions —
+// benchmark sweeps, CI traffic, batch matrices — are then served from
+// disk instead of burning a GA run.
+//
+// The store is a plain directory tree (`<dir>/<key[:2]>/<key>.json`)
+// safe for concurrent use by every node of an mmserved fleet: entries
+// are published with a write-fsync-link sequence so a reader never
+// observes a torn entry, and because content under a key is
+// deterministic, concurrent publishers of the same key are equivalent
+// (first link wins, the rest discard identical bytes). See docs/CACHE.md.
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Key derives the content address of an ordered sequence of canonical
+// byte parts. Parts are length-prefixed before hashing so distinct
+// sequences can never collide by concatenation (("ab","c") != ("a","bc")).
+// The result is 64 lowercase hex characters.
+func Key(parts ...[]byte) string {
+	h := sha256.New()
+	var lenbuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenbuf[:], uint64(len(p)))
+		h.Write(lenbuf[:])
+		h.Write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ValidKey reports whether key has the exact shape Key produces. The
+// store rejects anything else before touching the filesystem, so a
+// malformed key can never escape the cache directory.
+func ValidKey(key string) bool {
+	if len(key) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

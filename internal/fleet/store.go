@@ -305,6 +305,28 @@ func (s *Store) CreateJob(job string, spec, manifest []byte) error {
 	return nil
 }
 
+// CreateDoneJob publishes a job that is born terminal — a submission
+// answered from the content-addressed result cache. Like CreateJob it is
+// the submitter's pre-claim write, so everything lands at epoch 0: the
+// immutable spec, the rendered result, and last the terminal manifest
+// (peers adopt a job from its manifest, so the result must already be in
+// place when the manifest appears). No lease ever exists for such a job.
+func (s *Store) CreateDoneJob(job string, spec, manifest, result []byte) error {
+	if err := s.fs.CreateExclusive(s.SpecPath(job), spec); err != nil {
+		return fmt.Errorf("fleet: job %s spec: %w", job, err)
+	}
+	if err := s.fs.WriteFile(s.StatePath(job, KindResult, 0), result); err != nil {
+		return fmt.Errorf("fleet: job %s result: %w", job, err)
+	}
+	if err := s.fs.WriteFile(s.StatePath(job, KindManifest, 0), manifest); err != nil {
+		return fmt.Errorf("fleet: job %s manifest: %w", job, err)
+	}
+	if err := s.fs.SyncDir(s.jobDir(job)); err != nil {
+		return fmt.Errorf("fleet: job %s: %w", job, err)
+	}
+	return nil
+}
+
 // Spec returns the job's immutable spec document.
 func (s *Store) Spec(job string) ([]byte, error) {
 	data, err := s.fs.ReadFile(s.SpecPath(job))

@@ -78,6 +78,53 @@ synth_phase_seconds_dvs_count 3
 	}
 }
 
+// TestWritePrometheusCacheBatchExposition pins the cache and batch series
+// byte-for-byte: eagerly registered zero-valued counters still expose, and
+// the kind-then-name order keeps the batch counters ahead of the cache
+// counters.
+func TestWritePrometheusCacheBatchExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.cache_hits").Add(2)
+	reg.Counter("serve.cache_misses").Add(1)
+	reg.Counter("serve.cache_evictions")
+	reg.Counter("serve.cache_corrupt")
+	reg.Counter("serve.batches_submitted").Add(1)
+	reg.Counter("serve.batch_cells").Add(6)
+	reg.Counter("serve.batch_dedup").Add(2)
+	reg.Counter("serve.batch_cache_hits")
+	reg.Counter("serve.batch_rejected")
+	reg.Gauge("serve.batches").Set(1)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE serve_batch_cache_hits counter
+serve_batch_cache_hits 0
+# TYPE serve_batch_cells counter
+serve_batch_cells 6
+# TYPE serve_batch_dedup counter
+serve_batch_dedup 2
+# TYPE serve_batch_rejected counter
+serve_batch_rejected 0
+# TYPE serve_batches_submitted counter
+serve_batches_submitted 1
+# TYPE serve_cache_corrupt counter
+serve_cache_corrupt 0
+# TYPE serve_cache_evictions counter
+serve_cache_evictions 0
+# TYPE serve_cache_hits counter
+serve_cache_hits 2
+# TYPE serve_cache_misses counter
+serve_cache_misses 1
+# TYPE serve_batches gauge
+serve_batches 1
+`
+	if buf.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
 func TestAcceptsPrometheus(t *testing.T) {
 	cases := []struct {
 		accept string

@@ -205,8 +205,10 @@ type BenchRowEvent struct {
 // mark fleet lease acquisitions, queued a re-enqueue (drain recovery),
 // retry a failed-but-budgeted attempt returning to the queue behind its
 // backoff, checkpoint a persisted engine snapshot (an instantaneous marker
-// whose DwellNs is the save duration, not a state dwell), and fenced an
-// execution abandoned because a higher lease epoch appeared.
+// whose DwellNs is the save duration, not a state dwell), fenced an
+// execution abandoned because a higher lease epoch appeared, and cached a
+// submission answered terminally from the content-addressed result cache
+// (the job never queued and never ran).
 const (
 	JobSubmitted  = "submitted"
 	JobQueued     = "queued"
@@ -216,6 +218,7 @@ const (
 	JobCheckpoint = "checkpoint"
 	JobRetry      = "retry"
 	JobFenced     = "fenced"
+	JobCached     = "cached"
 	JobTerminal   = "terminal"
 )
 
@@ -223,7 +226,7 @@ const (
 var jobEventNames = map[string]bool{
 	JobSubmitted: true, JobQueued: true, JobClaimed: true, JobStolen: true,
 	JobAttempt: true, JobCheckpoint: true, JobRetry: true, JobFenced: true,
-	JobTerminal: true,
+	JobCached: true, JobTerminal: true,
 }
 
 // JobEvent is one job-lifecycle span: a state transition (or checkpoint

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -320,5 +321,114 @@ func (c *Client) WaitTerminal(ctx context.Context, id string, poll time.Duration
 			return nil, fmt.Errorf("serve: client: job %s still %s: %w", id, view.State, context.Cause(ctx))
 		case <-time.After(poll):
 		}
+	}
+}
+
+// SubmitBatch submits a specs×seeds×options matrix to POST /v1/batches.
+// The response carries the per-cell admission records (child job IDs,
+// duplicates collapsed to their owning job, cache hits, rejections).
+func (c *Client) SubmitBatch(ctx context.Context, req BatchRequest) (*BatchSubmitView, error) {
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	data, err := c.do(ctx, http.MethodPost, "/v1/batches", body)
+	if err != nil {
+		return nil, err
+	}
+	var view BatchSubmitView
+	if err := json.Unmarshal(data, &view); err != nil {
+		return nil, fmt.Errorf("serve: client: batch response: %w", err)
+	}
+	return &view, nil
+}
+
+// BatchStatus fetches a batch's aggregate progress.
+func (c *Client) BatchStatus(ctx context.Context, id string) (*BatchStatusView, error) {
+	data, err := c.do(ctx, http.MethodGet, "/v1/batches/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var view BatchStatusView
+	if err := json.Unmarshal(data, &view); err != nil {
+		return nil, fmt.Errorf("serve: client: batch status response: %w", err)
+	}
+	return &view, nil
+}
+
+// BatchResults fetches every cell result of a batch, following the `next`
+// cursor across pages.
+func (c *Client) BatchResults(ctx context.Context, id string) ([]BatchCellResult, error) {
+	var out []BatchCellResult
+	cursor := ""
+	for {
+		path := "/v1/batches/" + id + "/results"
+		if cursor != "" {
+			path += "?cursor=" + url.QueryEscape(cursor)
+		}
+		data, err := c.do(ctx, http.MethodGet, path, nil)
+		if err != nil {
+			return nil, err
+		}
+		var page BatchResultsView
+		if err := json.Unmarshal(data, &page); err != nil {
+			return nil, fmt.Errorf("serve: client: batch results response: %w", err)
+		}
+		out = append(out, page.Results...)
+		if page.Next == "" {
+			return out, nil
+		}
+		cursor = page.Next
+	}
+}
+
+// WaitBatch polls the batch until every admitted child job is terminal
+// (poll interval default 100ms) or ctx expires.
+func (c *Client) WaitBatch(ctx context.Context, id string, poll time.Duration) (*BatchStatusView, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		view, err := c.BatchStatus(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if view.Complete {
+			return view, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("serve: client: batch %s at %d/%d: %w", id, view.Done, view.Total, context.Cause(ctx))
+		case <-time.After(poll):
+		}
+	}
+}
+
+// ListAll fetches the complete job listing, following the `next` cursor
+// across pages instead of hand-rolling offset arithmetic.
+func (c *Client) ListAll(ctx context.Context) ([]StatusView, error) {
+	var out []StatusView
+	cursor := ""
+	for {
+		path := "/v1/jobs"
+		if cursor != "" {
+			path += "?offset=" + url.QueryEscape(cursor)
+		}
+		data, err := c.do(ctx, http.MethodGet, path, nil)
+		if err != nil {
+			return nil, err
+		}
+		var page ListView
+		if err := json.Unmarshal(data, &page); err != nil {
+			return nil, fmt.Errorf("serve: client: list response: %w", err)
+		}
+		out = append(out, page.Jobs...)
+		if page.Next == "" {
+			return out, nil
+		}
+		cursor = page.Next
 	}
 }

@@ -40,8 +40,7 @@ func fleetManifestValid(job string) func([]byte) error {
 
 // fleetManifest renders the job's manifest for a fleet persist at the
 // given epoch.
-func (s *Server) fleetManifest(j *Job, epoch int) ([]byte, error) {
-	snap := j.snapshot()
+func (s *Server) fleetManifest(j *Job, snap jobSnapshot, epoch int) ([]byte, error) {
 	m := manifest{
 		ID:          j.ID,
 		Request:     j.Request,
@@ -54,6 +53,7 @@ func (s *Server) fleetManifest(j *Job, epoch int) ([]byte, error) {
 		ResumedFrom: snap.ResumedFrom,
 		Node:        s.cfg.NodeID,
 		Epoch:       epoch,
+		Cached:      snap.Cached,
 	}
 	m.Attempts, m.NotBefore = manifestRetry(snap)
 	return json.MarshalIndent(&m, "", "  ")
@@ -75,7 +75,7 @@ func (s *Server) submitFleet(req JobRequest, system string) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	man, err := s.fleetManifest(j, 0)
+	man, err := s.fleetManifest(j, j.snapshot(), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +240,7 @@ func (j *Job) applyManifestLocked(m *manifest) {
 		j.notBefore = *m.NotBefore
 	}
 	j.node = m.Node
+	j.cached = m.Cached
 }
 
 // claimRunnable claims jobs for this node's free capacity and enqueues
@@ -342,7 +343,7 @@ func (s *Server) claimJob(j *Job) bool {
 		}
 		j.mu.Unlock()
 		s.emitTerminal(j, prev, StateQuarantined, attempts, dwellNs, lease.Epoch, cause)
-		if data, merr := s.fleetManifest(j, lease.Epoch); merr == nil {
+		if data, merr := s.fleetManifest(j, j.snapshot(), lease.Epoch); merr == nil {
 			if werr := lease.Write(fleet.KindManifest, data); werr != nil {
 				s.logf("serve: fleet: quarantine %s: %v", j.ID, werr)
 			}
@@ -368,7 +369,7 @@ func (s *Server) claimJob(j *Job) bool {
 		}
 		j.mu.Unlock()
 		s.emitTerminal(j, prev, StateCancelled, attempts, dwellNs, lease.Epoch, "cancelled by client")
-		if data, merr := s.fleetManifest(j, lease.Epoch); merr == nil {
+		if data, merr := s.fleetManifest(j, j.snapshot(), lease.Epoch); merr == nil {
 			if werr := lease.Write(fleet.KindManifest, data); werr != nil {
 				s.logf("serve: fleet: cancel %s: %v", j.ID, werr)
 			}
@@ -544,14 +545,18 @@ func (s *Server) fence(j *Job, cancelJob context.CancelCauseFunc, cause error) {
 // fleetPersist writes the job's manifest through the lease fence. On fence
 // rejection the job is marked fenced; other write failures are logged like
 // single-node persist failures.
-func (s *Server) fleetPersist(j *Job) {
+func (s *Server) fleetPersist(j *Job) { s.fleetPersistSnap(j, j.snapshot()) }
+
+// fleetPersistSnap is fleetPersist with an explicit snapshot (see
+// persistSnap).
+func (s *Server) fleetPersistSnap(j *Job, snap jobSnapshot) {
 	j.mu.Lock()
 	lease := j.lease
 	j.mu.Unlock()
 	if lease == nil {
 		return
 	}
-	data, err := s.fleetManifest(j, lease.Epoch)
+	data, err := s.fleetManifest(j, snap, lease.Epoch)
 	if err == nil {
 		err = lease.Write(fleet.KindManifest, data)
 	}

@@ -318,19 +318,23 @@ func TestSingleNodeLayoutUnchanged(t *testing.T) {
 		t.Fatalf("single-node status advertises a node ID: %q", v.Node)
 	}
 
-	entries, err := os.ReadDir(filepath.Join(dataDir, "jobs", j.ID))
-	if err != nil {
-		t.Fatal(err)
-	}
+	// The done state becomes visible before the worker finishes settling
+	// the directory (result write, checkpoint removal), so poll for the
+	// final layout instead of reading it once.
 	var names []string
-	for _, e := range entries {
-		names = append(names, e.Name())
-	}
-	sort.Strings(names)
 	want := []string{"manifest.json", "result.json"}
-	if len(names) != len(want) || names[0] != want[0] || names[1] != want[1] {
-		t.Fatalf("job dir contents = %v, want exactly %v", names, want)
-	}
+	eventually(t, fmt.Sprintf("job dir settles to %v", want), func() bool {
+		entries, err := os.ReadDir(filepath.Join(dataDir, "jobs", j.ID))
+		if err != nil {
+			return false
+		}
+		names = names[:0]
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		sort.Strings(names)
+		return len(names) == len(want) && names[0] == want[0] && names[1] == want[1]
+	})
 
 	raw, err := os.ReadFile(filepath.Join(dataDir, "jobs", j.ID, "manifest.json"))
 	if err != nil {
@@ -340,7 +344,7 @@ func TestSingleNodeLayoutUnchanged(t *testing.T) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatal(err)
 	}
-	for _, fleetKey := range []string{"node", "epoch", "attempts", "not_before"} {
+	for _, fleetKey := range []string{"node", "epoch", "attempts", "not_before", "cached"} {
 		if _, ok := m[fleetKey]; ok {
 			t.Fatalf("single-node manifest grew a field %q: %s", fleetKey, raw)
 		}

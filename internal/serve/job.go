@@ -152,6 +152,9 @@ type Job struct {
 	// node is the fleet node that owns (or last owned) the job, for
 	// display; empty in single-node mode.
 	node string
+	// cached marks a job that was born terminal from the result cache: it
+	// never queued, never ran, and owns no checkpoint or trace state.
+	cached bool
 	// sys and result hold the in-memory outcome for result rendering; jobs
 	// recovered from disk serve their persisted result.json instead.
 	sys    *model.System
@@ -171,17 +174,23 @@ type jobSnapshot struct {
 	CancelRequested bool
 	ObsRun          *obs.Run
 	Node            string
+	Cached          bool
 }
 
 func (j *Job) snapshot() jobSnapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+// snapshotLocked is snapshot for callers already holding j.mu.
+func (j *Job) snapshotLocked() jobSnapshot {
 	return jobSnapshot{
 		State: j.state, Err: j.err,
 		Created: j.created, Started: j.started, Finished: j.finished,
 		ResumedFrom: j.resumedFrom, Attempts: j.attempts, NotBefore: j.notBefore,
 		CancelRequested: j.cancelRequested,
-		ObsRun:          j.obsRun, Node: j.node,
+		ObsRun:          j.obsRun, Node: j.node, Cached: j.cached,
 	}
 }
 
@@ -207,7 +216,10 @@ type StatusView struct {
 	RetryAt string `json:"retry_at,omitempty"`
 	// Node is the fleet node owning (or that last owned) the job; empty in
 	// single-node mode.
-	Node     string    `json:"node,omitempty"`
+	Node string `json:"node,omitempty"`
+	// Cached marks a job answered from the content-addressed result cache:
+	// it was terminal at submission and burned no synthesis work.
+	Cached   bool      `json:"cached,omitempty"`
 	Progress *Progress `json:"progress,omitempty"`
 }
 
@@ -226,6 +238,7 @@ func (j *Job) status(systemName string) StatusView {
 		ResumedFrom: s.ResumedFrom,
 		Attempts:    s.Attempts,
 		Node:        s.Node,
+		Cached:      s.Cached,
 	}
 	if s.State == StateQueued && !s.NotBefore.IsZero() {
 		v.RetryAt = s.NotBefore.UTC().Format(time.RFC3339Nano)

@@ -96,9 +96,10 @@ type ViolationView struct {
 }
 
 // renderResult serialises a finished job's result document. It tolerates
-// the partial shapes interrupted runs produce (nil Best, nil GA).
-func renderResult(j *Job, sys *model.System, res *synth.Result) ([]byte, error) {
-	snap := j.snapshot()
+// the partial shapes interrupted runs produce (nil Best, nil GA). The
+// snapshot is explicit because the worker renders the document before the
+// job's terminal state becomes publicly visible.
+func renderResult(j *Job, snap jobSnapshot, sys *model.System, res *synth.Result) ([]byte, error) {
 	view := ResultView{
 		ID:          j.ID,
 		State:       snap.State,

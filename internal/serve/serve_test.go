@@ -456,6 +456,13 @@ func TestSpecName(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	s.Start(ctx)
+	t.Cleanup(func() {
+		// Drain before the TempDir cleanup: the worker may still be
+		// settling the finished job's directory.
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		_ = s.Shutdown(sctx)
+	})
 	a := newAPI(t, s)
 
 	j := a.submit(serve.JobRequest{SpecName: "tiny", Seed: 1, GA: serve.GAParams{PopSize: 12, MaxGenerations: 25, Stagnation: 10}})

@@ -38,8 +38,8 @@ import (
 	"sync"
 	"time"
 
+	"momosyn/internal/cas"
 	"momosyn/internal/fleet"
-	"momosyn/internal/ga"
 	"momosyn/internal/model"
 	"momosyn/internal/obs"
 	"momosyn/internal/runctl"
@@ -139,6 +139,17 @@ type Config struct {
 	// FleetFS is the filesystem the fleet store runs on (default the real
 	// filesystem; tests inject chaosfs). Fleet mode only.
 	FleetFS fleet.FS
+
+	// CacheDir, when set, enables the content-addressed result cache:
+	// completed certified jobs publish their result under the canonical
+	// (spec, seed, options, engine version) key and semantically identical
+	// resubmissions are answered terminally at admission. In fleet mode it
+	// defaults to FleetDir/cache so every node shares one cache; in
+	// single-node mode empty means disabled. See docs/CACHE.md.
+	CacheDir string
+	// CacheMaxBytes caps the total size of cache entries; beyond it the
+	// least-recently-used entries are evicted. 0 means unbounded.
+	CacheMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -188,6 +199,11 @@ func (c Config) withDefaults() Config {
 		if c.FleetFS == nil {
 			c.FleetFS = fleet.OSFS{}
 		}
+		if c.CacheDir == "" {
+			// Fleet nodes share one cache through the fleet directory:
+			// a result computed anywhere is a hit everywhere.
+			c.CacheDir = filepath.Join(c.FleetDir, "cache")
+		}
 	}
 	return c
 }
@@ -223,6 +239,14 @@ type Server struct {
 	fleetStore *fleet.Store
 	fleetFS    fleet.FS
 
+	// cache is the content-addressed result store; nil when disabled.
+	cache *cas.Store
+
+	// Batch records, guarded by mu; cells are immutable once created.
+	batches    map[string]*Batch
+	batchOrder []string
+	batchSeq   int
+
 	// Metric handles held once so the hot paths skip the registry map.
 	qDepth          *obs.Gauge
 	running         *obs.Gauge
@@ -231,6 +255,7 @@ type Server struct {
 	fleetRecovering *obs.Gauge
 	fleetLiveNodes  *obs.Gauge
 	fleetDegraded   *obs.Gauge
+	batchesGauge    *obs.Gauge
 }
 
 // New builds a Server over cfg.DataDir, recovering previously persisted
@@ -243,15 +268,38 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("serve: Config.DataDir is required")
 	}
 	s := &Server{
-		cfg:  cfg,
-		reg:  cfg.Registry,
-		jobs: make(map[string]*Job),
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		jobs:    make(map[string]*Job),
+		batches: make(map[string]*Batch),
 	}
+	s.batchesGauge = s.reg.Gauge("serve.batches")
 	s.qDepth = s.reg.Gauge("serve.queue_depth")
 	s.running = s.reg.Gauge("serve.jobs_running")
 	s.busy = s.reg.Gauge("serve.workers_busy")
 	s.jobSeconds = s.reg.Histogram("serve.job_seconds", obs.DefTimeBuckets)
 	s.reg.Gauge("serve.workers").Set(float64(cfg.Workers))
+	// Batch counters register eagerly so scrapers see every series from the
+	// first /metrics exposition, not only after the first batch arrives.
+	for _, name := range []string{
+		"serve.batches_submitted", "serve.batch_cells", "serve.batch_dedup",
+		"serve.batch_cache_hits", "serve.batch_rejected",
+	} {
+		s.reg.Counter(name)
+	}
+
+	if cfg.CacheDir != "" {
+		store, err := cas.Open(cfg.CacheDir, cfg.CacheMaxBytes, cas.Metrics{
+			Hits:      s.reg.Counter("serve.cache_hits"),
+			Misses:    s.reg.Counter("serve.cache_misses"),
+			Evictions: s.reg.Counter("serve.cache_evictions"),
+			Corrupt:   s.reg.Counter("serve.cache_corrupt"),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: cache: %w", err)
+		}
+		s.cache = store
+	}
 
 	if cfg.FleetDir != "" {
 		store, err := fleet.Open(fleet.Config{
@@ -281,6 +329,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.seq = maxSeq
+	s.recoverBatches()
 	// The queue must hold every recovered job plus the configured depth's
 	// worth of new ones; recovery must never hit its own backpressure.
 	depth := cfg.QueueDepth
@@ -623,8 +672,61 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	if s.lifecycleTracing() {
 		dwellNs = j.dwellLocked(now)
 	}
+	snap := j.snapshotLocked()
+	if state.Terminal() {
+		// Hide the terminal state until its artifacts are durable: a
+		// client that observes "done" must find the result document, the
+		// cache entry and the manifest already on disk (and the checkpoint
+		// gone), whether it resubmits, restarts the server or scrapes
+		// /metrics in the very next request. The snapshot above carries
+		// the real final state for the persists below.
+		j.state = StateRunning
+	} else if retryIn > 0 {
+		s.reg.Counter("serve.jobs_retried").Inc()
+	}
 	j.mu.Unlock()
-	s.persist(j)
+
+	if state.Terminal() {
+		if res != nil {
+			// Result before manifest: recovery (and fleet adoption) trusts
+			// a terminal manifest to have its result document beside it.
+			if doc, rerr := renderResult(j, snap, sys, res); rerr == nil {
+				s.persistResult(j, doc)
+				if state == StateDone {
+					s.cachePublish(j, sys, res, doc)
+				}
+			} else {
+				s.logf("serve: job %s: render result: %v", j.ID, rerr)
+			}
+		}
+		s.persistSnap(j, snap)
+		// A finished job no longer needs its checkpoint (quarantined
+		// included: it will never run again).
+		if lease != nil {
+			s.fleetStore.RemoveCheckpoints(j.ID)
+		} else {
+			os.Remove(filepath.Join(j.dir, checkpointFile))
+		}
+		// Reveal: terminal counters move under the same lock so state and
+		// /metrics can never disagree.
+		j.mu.Lock()
+		j.state = state
+		switch state {
+		case StateDone:
+			s.reg.Counter("serve.jobs_done").Inc()
+		case StateFailed:
+			s.reg.Counter("serve.jobs_failed").Inc()
+		case StateCancelled:
+			s.reg.Counter("serve.jobs_cancelled").Inc()
+		case StateQuarantined:
+			s.reg.Counter("serve.jobs_quarantined").Inc()
+		default:
+			// Non-terminal states never reach this branch.
+		}
+		j.mu.Unlock()
+	} else {
+		s.persistSnap(j, snap)
+	}
 	if s.lifecycleTracing() {
 		epoch := 0
 		if lease != nil {
@@ -647,39 +749,18 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	}
 
 	switch state {
-	case StateDone:
-		s.reg.Counter("serve.jobs_done").Inc()
 	case StateFailed:
-		s.reg.Counter("serve.jobs_failed").Inc()
-		s.logf("serve: job %s failed: %s", j.ID, j.snapshot().Err)
-	case StateCancelled:
-		s.reg.Counter("serve.jobs_cancelled").Inc()
+		s.logf("serve: job %s failed: %s", j.ID, jobErr)
 	case StateQuarantined:
-		s.reg.Counter("serve.jobs_quarantined").Inc()
 		s.quarWindow.record(time.Now())
 		s.logf("serve: job %s quarantined after %d failed attempts: %v", j.ID, attempts, err)
 	case StateQueued, StateRunning:
-		// Drained or retrying: neither terminal counter moves.
+		// Drained or retrying: no terminal counter moved.
 		if retryIn > 0 {
-			s.reg.Counter("serve.jobs_retried").Inc()
 			s.logf("serve: job %s: attempt %d/%d failed (%v); retrying in %v", j.ID, attempts, s.cfg.MaxAttempts, err, retryIn)
 		}
-	}
-	if state.Terminal() {
-		if res != nil {
-			if doc, rerr := renderResult(j, sys, res); rerr == nil {
-				s.persistResult(j, doc)
-			} else {
-				s.logf("serve: job %s: render result: %v", j.ID, rerr)
-			}
-		}
-		// A finished job no longer needs its checkpoint (quarantined
-		// included: it will never run again).
-		if lease != nil {
-			s.fleetStore.RemoveCheckpoints(j.ID)
-		} else {
-			os.Remove(filepath.Join(j.dir, checkpointFile))
-		}
+	default:
+		// Done and cancelled outcomes need no log line.
 	}
 	if lease != nil {
 		// Terminal, drained or awaiting retry, the state is committed: let
@@ -742,22 +823,12 @@ func (s *Server) synthesize(ctx context.Context, j *Job, run *obs.Run) (*model.S
 			return sys, nil, err
 		}
 	}
-	opts := synth.Options{
-		UseDVS:               j.Request.DVS,
-		NeglectProbabilities: j.Request.NeglectProbabilities,
-		RefineIterations:     j.Request.RefineIterations,
-		StallWindow:          j.Request.StallWindow,
-		GA: ga.Config{
-			PopSize:        j.Request.GA.PopSize,
-			MaxGenerations: j.Request.GA.MaxGenerations,
-			Stagnation:     j.Request.GA.Stagnation,
-		},
-		Seed:            j.Request.Seed,
-		Context:         ctx,
-		CheckpointEvery: s.cfg.CheckpointEvery,
-		Certify:         j.Request.certify(),
-		Obs:             run,
-	}
+	// keyOptions is shared with the cache key derivation: what runs here is
+	// exactly what a cache hit would have answered for.
+	opts := keyOptions(&j.Request)
+	opts.Context = ctx
+	opts.CheckpointEvery = s.cfg.CheckpointEvery
+	opts.Obs = run
 	j.mu.Lock()
 	lease := j.lease
 	j.mu.Unlock()
@@ -857,6 +928,9 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/jobs/{id}", http.HandlerFunc(s.handleStatus))
 	handle("GET /v1/jobs/{id}/result", http.HandlerFunc(s.handleResult))
 	handle("DELETE /v1/jobs/{id}", http.HandlerFunc(s.handleCancel))
+	handle("POST /v1/batches", http.HandlerFunc(s.handleBatchSubmit))
+	handle("GET /v1/batches/{id}", http.HandlerFunc(s.handleBatchStatus))
+	handle("GET /v1/batches/{id}/results", http.HandlerFunc(s.handleBatchResults))
 	handle("GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -1011,25 +1085,185 @@ type SubmitView struct {
 // hint instead of queued to certain failure. It reports whether the
 // response was written. With no service-time observations yet the server
 // admits rather than guessing.
-func (s *Server) maybeShed(w http.ResponseWriter, req *JobRequest, queued int) bool {
+// admitError is an admission or validation failure that has not been written
+// to a response yet, so batch expansion can record it per cell while the
+// single-job path renders it as the usual HTTP error.
+type admitError struct {
+	status     int
+	retryAfter string // Retry-After header value, when applicable
+	msg        string
+}
+
+func (e *admitError) Error() string { return e.msg }
+
+func admitErrorf(status int, format string, args ...any) *admitError {
+	return &admitError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) writeAPIError(w http.ResponseWriter, e *admitError) {
+	if e.retryAfter != "" {
+		w.Header().Set("Retry-After", e.retryAfter)
+	}
+	writeError(w, e.status, "%s", e.msg)
+}
+
+// shedCheck applies deadline-aware admission shedding: a request carrying a
+// deadline the server cannot plausibly meet — given the queue backlog and
+// the observed per-job service time — is refused with a Retry-After hint
+// instead of queued to certain failure. With no service-time observations
+// yet the server admits rather than guessing.
+func (s *Server) shedCheck(req *JobRequest, queued int) *admitError {
 	if req.DeadlineMS <= 0 {
-		return false
+		return nil
 	}
 	wait, ok := s.estimateWait(queued)
 	if !ok {
-		return false
+		return nil
 	}
 	budget := time.Duration(req.DeadlineMS) * time.Millisecond
 	if wait <= budget {
-		return false
+		return nil
 	}
 	s.reg.Counter("serve.jobs_shed").Inc()
 	s.shedWindow.record(time.Now())
-	w.Header().Set("Retry-After", s.shedRetryAfter(wait))
-	writeError(w, http.StatusTooManyRequests,
+	e := admitErrorf(http.StatusTooManyRequests,
 		"deadline of %dms cannot be met (estimated completion in %v with %d jobs queued); shed at admission",
 		req.DeadlineMS, wait.Round(time.Millisecond), queued)
-	return true
+	e.retryAfter = s.shedRetryAfter(wait)
+	return e
+}
+
+// validateJob checks a decoded request and resolves spec_name to the spec
+// text in place. It owns every per-request check that does not need the
+// parsed system model.
+func (s *Server) validateJob(req *JobRequest) *admitError {
+	switch {
+	case req.Spec == "" && req.SpecName == "":
+		return admitErrorf(http.StatusBadRequest, "one of spec or spec_name is required")
+	case req.Spec != "" && req.SpecName != "":
+		return admitErrorf(http.StatusBadRequest, "spec and spec_name are mutually exclusive")
+	}
+	if req.DeadlineMS < 0 {
+		return admitErrorf(http.StatusBadRequest, "deadline_ms must be positive")
+	}
+	if req.Failpoint != "" {
+		if !s.cfg.Failpoints {
+			return admitErrorf(http.StatusBadRequest, "failpoints are not enabled on this server")
+		}
+		if !validFailpoint(req.Failpoint) {
+			return admitErrorf(http.StatusBadRequest, "unknown failpoint %q", req.Failpoint)
+		}
+	}
+	// The server-side generation budget clamps every run, including ones
+	// asking for the (larger) engine default by leaving the field zero.
+	if s.cfg.MaxGenerations > 0 && (req.GA.MaxGenerations <= 0 || req.GA.MaxGenerations > s.cfg.MaxGenerations) {
+		req.GA.MaxGenerations = s.cfg.MaxGenerations
+	}
+	if req.SpecName != "" {
+		if s.cfg.SpecDir == "" {
+			return admitErrorf(http.StatusBadRequest, "this server has no spec directory; submit an inline spec")
+		}
+		if !specNameRe.MatchString(req.SpecName) {
+			return admitErrorf(http.StatusBadRequest, "invalid spec_name %q", req.SpecName)
+		}
+		data, err := os.ReadFile(filepath.Join(s.cfg.SpecDir, req.SpecName+".spec"))
+		if err != nil {
+			return admitErrorf(http.StatusNotFound, "unknown spec %q", req.SpecName)
+		}
+		req.Spec = string(data)
+	}
+	return nil
+}
+
+// admitJob queues one validated job, enforcing draining, backlog bounds and
+// deadline shedding. It owns both the fleet and the single-node admission
+// paths and emits the submitted counter and lifecycle span on success.
+func (s *Server) admitJob(req JobRequest, system string) (*Job, *admitError) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, admitErrorf(http.StatusServiceUnavailable, "server is shutting down")
+	}
+	if s.fleetStore != nil {
+		// Fleet admission: bound the fleet-wide backlog of unstarted jobs
+		// the same way the single-node queue is bounded.
+		queued := 0
+		for _, j := range s.jobs {
+			if j.snapshot().State == StateQueued {
+				queued++
+			}
+		}
+		s.mu.Unlock()
+		if queued >= s.cfg.QueueDepth {
+			s.reg.Counter("serve.jobs_rejected").Inc()
+			e := admitErrorf(http.StatusTooManyRequests, "queue full (%d jobs waiting); retry later", queued)
+			e.retryAfter = "1"
+			return nil, e
+		}
+		if e := s.shedCheck(&req, queued); e != nil {
+			return nil, e
+		}
+		j, err := s.submitFleet(req, system)
+		if err != nil {
+			return nil, admitErrorf(http.StatusInternalServerError, "publish job: %v", err)
+		}
+		s.reg.Counter("serve.jobs_submitted").Inc()
+		if s.lifecycleTracing() {
+			s.emitJobSpan(obs.JobEvent{Job: j.ID, Event: obs.JobSubmitted,
+				State: string(StateQueued), Node: s.cfg.NodeID})
+		}
+		return j, nil
+	}
+	if e := s.shedCheck(&req, len(s.queue)); e != nil {
+		s.mu.Unlock()
+		return nil, e
+	}
+	id := jobID(s.seq + 1)
+	j := &Job{ID: id, Request: req, dir: s.jobDir(id), system: system}
+	j.state = StateQueued
+	j.created = time.Now()
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		s.mu.Unlock()
+		return nil, admitErrorf(http.StatusInternalServerError, "job dir: %v", err)
+	}
+	// Persist the queued manifest before the job becomes visible to a
+	// worker: once it is on the queue a worker may transition it to running
+	// (or even terminal) and persist that, and a stale queued write landing
+	// afterwards would clobber the newer state.
+	s.persist(j)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		os.RemoveAll(j.dir)
+		s.reg.Counter("serve.jobs_rejected").Inc()
+		e := admitErrorf(http.StatusTooManyRequests, "queue full (%d jobs waiting); retry later", cap(s.queue))
+		e.retryAfter = "1"
+		return nil, e
+	}
+	s.seq++
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.qDepth.Set(float64(len(s.queue)))
+	s.jobsByState()
+	s.mu.Unlock()
+	s.reg.Counter("serve.jobs_submitted").Inc()
+	if s.lifecycleTracing() {
+		s.emitJobSpan(obs.JobEvent{Job: id, Event: obs.JobSubmitted,
+			State: string(StateQueued)})
+	}
+	return j, nil
+}
+
+// respondSubmit writes the 202 accepted view for a freshly admitted (or
+// cache-materialised) job.
+func respondSubmit(w http.ResponseWriter, j *Job, warns []specio.Warning) {
+	view := SubmitView{StatusView: j.status(j.system)}
+	for _, wn := range warns {
+		view.Warnings = append(view.Warnings, wn.String())
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, view)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -1049,48 +1283,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "request body: %v", err)
 		return
 	}
-	switch {
-	case req.Spec == "" && req.SpecName == "":
-		writeError(w, http.StatusBadRequest, "one of spec or spec_name is required")
+	if aerr := s.validateJob(&req); aerr != nil {
+		s.writeAPIError(w, aerr)
 		return
-	case req.Spec != "" && req.SpecName != "":
-		writeError(w, http.StatusBadRequest, "spec and spec_name are mutually exclusive")
-		return
-	}
-	if req.DeadlineMS < 0 {
-		writeError(w, http.StatusBadRequest, "deadline_ms must be positive")
-		return
-	}
-	if req.Failpoint != "" {
-		if !s.cfg.Failpoints {
-			writeError(w, http.StatusBadRequest, "failpoints are not enabled on this server")
-			return
-		}
-		if !validFailpoint(req.Failpoint) {
-			writeError(w, http.StatusBadRequest, "unknown failpoint %q", req.Failpoint)
-			return
-		}
-	}
-	// The server-side generation budget clamps every run, including ones
-	// asking for the (larger) engine default by leaving the field zero.
-	if s.cfg.MaxGenerations > 0 && (req.GA.MaxGenerations <= 0 || req.GA.MaxGenerations > s.cfg.MaxGenerations) {
-		req.GA.MaxGenerations = s.cfg.MaxGenerations
-	}
-	if req.SpecName != "" {
-		if s.cfg.SpecDir == "" {
-			writeError(w, http.StatusBadRequest, "this server has no spec directory; submit an inline spec")
-			return
-		}
-		if !specNameRe.MatchString(req.SpecName) {
-			writeError(w, http.StatusBadRequest, "invalid spec_name %q", req.SpecName)
-			return
-		}
-		data, err := os.ReadFile(filepath.Join(s.cfg.SpecDir, req.SpecName+".spec"))
-		if err != nil {
-			writeError(w, http.StatusNotFound, "unknown spec %q", req.SpecName)
-			return
-		}
-		req.Spec = string(data)
 	}
 	// Reject malformed specs at the door, with the reader's line-numbered
 	// diagnostics, rather than burning a worker on them.
@@ -1100,103 +1295,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
-		return
-	}
-	if s.fleetStore != nil {
-		// Fleet admission: bound the fleet-wide backlog of unstarted jobs
-		// the same way the single-node queue is bounded.
-		queued := 0
-		for _, j := range s.jobs {
-			if j.snapshot().State == StateQueued {
-				queued++
+	// Cache consult happens before admission: a hit consumes no queue slot
+	// and no worker, so it bypasses backlog bounds and shedding entirely.
+	if key, ok := s.cacheKey(sys, &req); ok {
+		if e, hit := s.cache.Get(key); hit {
+			j, aerr := s.materializeCached(req, sys.App.Name, e)
+			if aerr != nil {
+				s.writeAPIError(w, aerr)
+				return
 			}
+			if j != nil {
+				respondSubmit(w, j, warns)
+				return
+			}
+			// The hit could not be materialised; run the job for real.
 		}
-		s.mu.Unlock()
-		if queued >= s.cfg.QueueDepth {
-			s.reg.Counter("serve.jobs_rejected").Inc()
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "queue full (%d jobs waiting); retry later", queued)
-			return
-		}
-		if s.maybeShed(w, &req, queued) {
-			return
-		}
-		j, err := s.submitFleet(req, sys.App.Name)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "publish job: %v", err)
-			return
-		}
-		s.reg.Counter("serve.jobs_submitted").Inc()
-		if s.lifecycleTracing() {
-			s.emitJobSpan(obs.JobEvent{Job: j.ID, Event: obs.JobSubmitted,
-				State: string(StateQueued), Node: s.cfg.NodeID})
-		}
-		view := SubmitView{StatusView: j.status(j.system)}
-		for _, wn := range warns {
-			view.Warnings = append(view.Warnings, wn.String())
-		}
-		w.Header().Set("Location", "/v1/jobs/"+j.ID)
-		writeJSON(w, http.StatusAccepted, view)
-		return
-	}
-	if s.maybeShed(w, &req, len(s.queue)) {
-		s.mu.Unlock()
-		return
-	}
-	id := jobID(s.seq + 1)
-	j := &Job{ID: id, Request: req, dir: s.jobDir(id), system: sys.App.Name}
-	j.state = StateQueued
-	j.created = time.Now()
-	if err := os.MkdirAll(j.dir, 0o755); err != nil {
-		s.mu.Unlock()
-		writeError(w, http.StatusInternalServerError, "job dir: %v", err)
-		return
-	}
-	// Persist the queued manifest before the job becomes visible to a
-	// worker: once it is on the queue a worker may transition it to running
-	// (or even terminal) and persist that, and a stale queued write landing
-	// afterwards would clobber the newer state.
-	s.persist(j)
-	select {
-	case s.queue <- j:
-	default:
-		s.mu.Unlock()
-		os.RemoveAll(j.dir)
-		s.reg.Counter("serve.jobs_rejected").Inc()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs waiting); retry later", cap(s.queue))
-		return
-	}
-	s.seq++
-	s.jobs[id] = j
-	s.order = append(s.order, id)
-	s.qDepth.Set(float64(len(s.queue)))
-	s.jobsByState()
-	s.mu.Unlock()
-	s.reg.Counter("serve.jobs_submitted").Inc()
-	if s.lifecycleTracing() {
-		s.emitJobSpan(obs.JobEvent{Job: id, Event: obs.JobSubmitted,
-			State: string(StateQueued)})
 	}
 
-	view := SubmitView{StatusView: j.status(j.system)}
-	for _, wn := range warns {
-		view.Warnings = append(view.Warnings, wn.String())
+	j, aerr := s.admitJob(req, sys.App.Name)
+	if aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
 	}
-	w.Header().Set("Location", "/v1/jobs/"+id)
-	writeJSON(w, http.StatusAccepted, view)
+	respondSubmit(w, j, warns)
 }
 
-// ListView is the JSON body answering GET /v1/jobs.
+// ListView is the JSON body answering GET /v1/jobs. Next, when present,
+// is the offset cursor of the following page; clients (Client.ListAll)
+// follow it until it disappears.
 type ListView struct {
 	Jobs   []StatusView `json:"jobs"`
 	Total  int          `json:"total"`
 	Offset int          `json:"offset"`
 	Limit  int          `json:"limit"`
+	Next   string       `json:"next,omitempty"`
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -1227,6 +1359,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	view := ListView{Jobs: make([]StatusView, 0, len(page)), Total: len(ids), Offset: offset, Limit: limit}
 	for _, j := range page {
 		view.Jobs = append(view.Jobs, j.status(j.system))
+	}
+	if next := offset + len(page); next < len(ids) {
+		view.Next = strconv.Itoa(next)
 	}
 	writeJSON(w, http.StatusOK, view)
 }
@@ -1270,7 +1405,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if sys != nil && res != nil {
-		doc, err := renderResult(j, sys, res)
+		doc, err := renderResult(j, j.snapshot(), sys, res)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "render result: %v", err)
 			return

@@ -366,6 +366,9 @@ func TestMetricsPrometheusNegotiation(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE serve_http_requests counter",
 		"# TYPE serve_workers gauge",
+		"# TYPE serve_batches gauge",
+		"# TYPE serve_batch_cells counter",
+		"# TYPE serve_batches_submitted counter",
 		"# TYPE serve_http_seconds_get_healthz histogram",
 		`serve_http_seconds_get_healthz_bucket{le="+Inf"}`,
 		"serve_http_seconds_get_healthz_sum",

@@ -41,6 +41,10 @@ type manifest struct {
 	// keeping its manifests byte-identical to earlier releases.
 	Node  string `json:"node,omitempty"`
 	Epoch int    `json:"epoch,omitempty"`
+	// Cached marks a job answered from the content-addressed result cache;
+	// absent for jobs that ran, keeping their manifests byte-identical to
+	// earlier releases.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // manifestRetry renders the job's retry fields for a manifest.
@@ -111,12 +115,16 @@ func syncDir(dir string) error {
 // fatal: the in-memory job table keeps serving, the job merely loses
 // restart durability. In fleet mode the write goes through the lease
 // fence instead.
-func (s *Server) persist(j *Job) {
+func (s *Server) persist(j *Job) { s.persistSnap(j, j.snapshot()) }
+
+// persistSnap is persist with an explicit snapshot, for the worker's
+// terminal path where the manifest must carry the job's final state while
+// the in-memory job still hides it.
+func (s *Server) persistSnap(j *Job, snap jobSnapshot) {
 	if s.fleetStore != nil {
-		s.fleetPersist(j)
+		s.fleetPersistSnap(j, snap)
 		return
 	}
-	snap := j.snapshot()
 	m := manifest{
 		ID:          j.ID,
 		Request:     j.Request,
@@ -127,6 +135,7 @@ func (s *Server) persist(j *Job) {
 		Started:     snap.Started,
 		Finished:    snap.Finished,
 		ResumedFrom: snap.ResumedFrom,
+		Cached:      snap.Cached,
 	}
 	m.Attempts, m.NotBefore = manifestRetry(snap)
 	data, err := json.MarshalIndent(&m, "", "  ")
@@ -210,6 +219,7 @@ func (s *Server) recoverJobs() (requeue []*Job, maxSeq int, err error) {
 		}
 		j := &Job{ID: m.ID, Request: m.Request, dir: dir, system: m.System}
 		j.created = m.Created
+		j.cached = m.Cached
 		j.resumedFrom = m.ResumedFrom
 		j.attempts = m.Attempts
 		if m.NotBefore != nil {

@@ -48,3 +48,33 @@ func FuzzRead(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCanonical asserts the keying contract behind internal/cas on
+// arbitrary parsable input: the canonical form reparses, and
+// canonicalising it again is a fixed point (byte-identical). Without this,
+// two cache lookups for the same spec could disagree on the key.
+func FuzzCanonical(f *testing.F) {
+	if specs, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.spec")); err == nil {
+		for _, path := range specs {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				f.Fatalf("seed %s: %v", path, err)
+			}
+			f.Add(string(data))
+		}
+	}
+	f.Add("system x\npe P class=gpp vmax=3.3 vt=0.8\ntype t\nimpl t P time=1ms power=1mW\nmode m prob=1 period=1s\ntask m a type=t\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		first, err := CanonicalBytes([]byte(input))
+		if err != nil {
+			t.Skip() // unparsable input is FuzzRead's territory
+		}
+		second, err := CanonicalBytes(first)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%s", err, first)
+		}
+		if string(second) != string(first) {
+			t.Fatalf("canonicalisation is not idempotent:\n--- first\n%s\n--- second\n%s", first, second)
+		}
+	})
+}

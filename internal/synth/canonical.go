@@ -1,0 +1,67 @@
+package synth
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EngineVersion names the synthesis engine revision for cache provenance.
+// It participates in the content-addressed result key (internal/cas), so
+// bumping it invalidates every cached result at once. Bump it whenever a
+// change alters the search trajectory or the result schema for the same
+// (spec, seed, options) — GA operator changes, evaluation-order changes,
+// fitness formula changes — and leave it alone for pure speedups that are
+// proven byte-identical.
+const EngineVersion = "momosyn-synth/1"
+
+// CanonicalOptions renders the result-shaping subset of Options in a
+// canonical, versioned byte form for content-addressed keying. Two Options
+// values produce the same bytes exactly when a deterministic run under them
+// yields the same certified result: runtime plumbing (Context, checkpoint
+// wiring, fault budget, Obs, certifier tuning) is excluded because it never
+// changes the search trajectory, while every trajectory-shaping field —
+// including the seed and each GA parameter — is written out explicitly,
+// field by field, so adding a new Options field forces a conscious decision
+// here instead of silently keying (or not keying) on it.
+func CanonicalOptions(o Options) []byte {
+	var b strings.Builder
+	b.WriteString("optv1\n")
+	writeBool(&b, "dvs", o.UseDVS)
+	writeBool(&b, "neglect", o.NeglectProbabilities)
+	writeBool(&b, "dvs_sw_only", o.DVSSoftwareOnly)
+	writeBool(&b, "no_replica_cores", o.NoReplicaCores)
+	writeBool(&b, "no_improvement_mutations", o.NoImprovementMutations)
+	writeInt(&b, "refine_iterations", o.RefineIterations)
+	writeInt(&b, "stall_window", o.StallWindow)
+	fmt.Fprintf(&b, "seed=%d\n", o.Seed)
+	writeBool(&b, "certify", o.Certify)
+	writeFloat(&b, "w_area", o.Weights.Area)
+	writeFloat(&b, "w_transition", o.Weights.Transition)
+	writeFloat(&b, "w_timing", o.Weights.Timing)
+	writeInt(&b, "ga_pop_size", o.GA.PopSize)
+	writeInt(&b, "ga_max_generations", o.GA.MaxGenerations)
+	writeInt(&b, "ga_stagnation", o.GA.Stagnation)
+	writeInt(&b, "ga_offspring", o.GA.Offspring)
+	writeInt(&b, "ga_tournament_size", o.GA.TournamentSize)
+	writeFloat(&b, "ga_mutation_rate", o.GA.MutationRate)
+	writeFloat(&b, "ga_selection_pressure", o.GA.SelectionPressure)
+	writeFloat(&b, "ga_improvement_rate", o.GA.ImprovementRate)
+	writeFloat(&b, "ga_min_diversity", o.GA.MinDiversity)
+	return []byte(b.String())
+}
+
+func writeBool(b *strings.Builder, key string, v bool) {
+	fmt.Fprintf(b, "%s=%t\n", key, v)
+}
+
+func writeInt(b *strings.Builder, key string, v int) {
+	fmt.Fprintf(b, "%s=%d\n", key, v)
+}
+
+func writeFloat(b *strings.Builder, key string, v float64) {
+	b.WriteString(key)
+	b.WriteByte('=')
+	b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	b.WriteByte('\n')
+}

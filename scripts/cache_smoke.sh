@@ -1,0 +1,131 @@
+#!/bin/sh
+# cache_smoke.sh — end-to-end smoke test of the content-addressed result
+# cache and the batch API (docs/CACHE.md, docs/SERVER.md): boot mmserved
+# with a cache directory, drive one job to a certified result, resubmit it
+# and require an instant cache hit, corrupt the cache entry and require a
+# miss + re-run (never a served corrupt result), then submit a batch of 6
+# cells with 2 duplicates and require exactly 4 child jobs. A regression in
+# canonical keying, the store's validation, or batch dedup fails CI here
+# even if no unit test covers it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+echo "==> build mmserved"
+go build -o "$workdir" ./cmd/mmserved
+
+echo "==> boot mmserved with a result cache"
+"$workdir/mmserved" -addr 127.0.0.1:0 -data "$workdir/data" -specs specs \
+    -cache-dir "$workdir/cache" -workers 2 \
+    > "$workdir/stdout" 2> "$workdir/stderr" &
+served_pid=$!
+for _ in $(seq 50); do
+    base=$(sed -n 's/^mmserved listening on //p' "$workdir/stdout")
+    [ -n "$base" ] && break
+    kill -0 "$served_pid" 2>/dev/null || { cat "$workdir/stderr"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "mmserved never announced its address"; cat "$workdir/stderr"; exit 1; }
+echo "    $base"
+
+submit_body='{"spec_name":"mul1","dvs":true,"seed":1,"ga":{"pop_size":16,"max_generations":40,"stagnation":15}}'
+
+# submit POSTs a job and prints its ID.
+submit() {
+    job=$(curl -sfS -X POST "$base/v1/jobs" -d "$submit_body")
+    id=$(printf '%s' "$job" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+    [ -n "$id" ] || { echo "submission returned no job id: $job" >&2; exit 1; }
+    printf '%s' "$id"
+}
+
+# await polls a job to the done state.
+await() {
+    state=queued
+    for _ in $(seq 600); do
+        state=$(curl -sfS "$base/v1/jobs/$1" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+        case "$state" in
+            done) return 0 ;;
+            failed|cancelled|quarantined)
+                echo "job $1 ended $state"; curl -sfS "$base/v1/jobs/$1"; exit 1 ;;
+        esac
+        sleep 0.1
+    done
+    echo "job $1 stuck in state $state"; exit 1
+}
+
+echo "==> first submission synthesizes for real"
+id1=$(submit)
+await "$id1"
+curl -sfS "$base/v1/jobs/$id1" | grep -q '"cached": true' && {
+    echo "first run claims to be cached"; exit 1; }
+curl -sfS "$base/v1/jobs/$id1/result" | grep -q '"certified": true' || {
+    echo "first result is not certified"; exit 1; }
+ls "$workdir"/cache/*/*.json >/dev/null 2>&1 || {
+    echo "no cache entry published"; exit 1; }
+
+echo "==> resubmission is a cache hit: terminal at birth, cached: true"
+id2=$(submit)
+[ "$id2" != "$id1" ] || { echo "resubmission reused job id $id1"; exit 1; }
+status2=$(curl -sfS "$base/v1/jobs/$id2")
+printf '%s' "$status2" | grep -q '"state": *"done"' || {
+    echo "cache hit is not terminal: $status2"; exit 1; }
+printf '%s' "$status2" | grep -q '"cached": true' || {
+    echo "cache hit not marked cached: $status2"; exit 1; }
+curl -sfS "$base/v1/jobs/$id2/result" | grep -q '"certified": true' || {
+    echo "cached result is not certified"; exit 1; }
+metrics=$(curl -sfS "$base/metrics")
+printf '%s' "$metrics" | grep -q '"serve.cache_hits": 1' || {
+    echo "metrics do not show exactly one cache hit"; exit 1; }
+
+echo "==> corrupt the cache entry: next submission misses and re-runs"
+for entry in "$workdir"/cache/*/*.json; do
+    printf 'garbage' >> "$entry"
+done
+id3=$(submit)
+await "$id3"
+curl -sfS "$base/v1/jobs/$id3" | grep -q '"cached": true' && {
+    echo "corrupt entry was served as a cache hit"; exit 1; }
+metrics=$(curl -sfS "$base/metrics")
+printf '%s' "$metrics" | grep -q '"serve.cache_corrupt": 1' || {
+    echo "corrupt entry was not detected"; exit 1; }
+
+echo "==> batch of 6 cells with 2 duplicate seeds runs exactly 4 jobs"
+batch=$(curl -sfS -X POST "$base/v1/batches" -d '{
+  "specs": [{"spec_name": "mul1"}],
+  "seeds": [11, 12, 13, 11, 12, 14],
+  "options": [{"ga": {"pop_size": 16, "max_generations": 40, "stagnation": 15}}]
+}')
+bid=$(printf '%s' "$batch" | sed -n 's/.*"id": *"\(b[0-9]*\)".*/\1/p')
+[ -n "$bid" ] || { echo "batch submission returned no id: $batch"; exit 1; }
+for want in '"cells": 6' '"jobs": 4' '"duplicates": 2'; do
+    printf '%s' "$batch" | grep -q "$want" || {
+        echo "batch view missing $want:"; printf '%s\n' "$batch"; exit 1; }
+done
+
+echo "==> poll the batch to completion"
+complete=false
+for _ in $(seq 600); do
+    bstatus=$(curl -sfS "$base/v1/batches/$bid")
+    if printf '%s' "$bstatus" | grep -q '"complete": true'; then
+        complete=true
+        break
+    fi
+    sleep 0.1
+done
+[ "$complete" = true ] || { echo "batch never completed: $bstatus"; exit 1; }
+printf '%s' "$bstatus" | grep -q '"done": 4' || {
+    echo "batch finished with wrong done count: $bstatus"; exit 1; }
+bresults=$(curl -sfS "$base/v1/batches/$bid/results")
+printf '%s' "$bresults" | grep -q '"duplicate": true' || {
+    echo "batch results lost the duplicate cells"; exit 1; }
+
+echo "==> SIGTERM drains cleanly (exit 0)"
+kill -TERM "$served_pid"
+if wait "$served_pid"; then :; else
+    echo "mmserved exited non-zero after SIGTERM"; cat "$workdir/stderr"; exit 1
+fi
+
+echo "==> cache smoke OK"

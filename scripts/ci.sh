@@ -38,6 +38,9 @@ go test -race ./...
 echo "==> fuzz smoke (specio.FuzzRead)"
 go test -run='^$' -fuzz=FuzzRead -fuzztime=5s -fuzzminimizetime=5s ./internal/specio
 
+echo "==> fuzz smoke (specio.FuzzCanonical)"
+go test -run='^$' -fuzz=FuzzCanonical -fuzztime=5s -fuzzminimizetime=5s ./internal/specio
+
 echo "==> fuzz smoke (runctl.FuzzCheckpoint)"
 go test -run='^$' -fuzz=FuzzCheckpoint -fuzztime=5s -fuzzminimizetime=5s ./internal/runctl
 
@@ -56,6 +59,12 @@ echo "==> serve smoke (mmserved job service)"
 # finish every job exactly once with certified results.
 echo "==> fleet chaos smoke (mmserved multi-node node-loss recovery)"
 ./scripts/fleet_chaos_smoke.sh
+
+# Result-cache smoke: resubmission must hit the content-addressed cache,
+# a corrupted entry must be evicted and re-run (never served), and a batch
+# of 6 cells with 2 duplicates must run exactly 4 jobs.
+echo "==> cache smoke (mmserved result cache + batch API)"
+./scripts/cache_smoke.sh
 
 # Performance-trajectory smoke: mmperf run + self-diff (exit 0) + a
 # synthetic regression the gate must flag (exit 1), then one mmserved job
